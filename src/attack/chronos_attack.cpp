@@ -1,0 +1,33 @@
+#include "attack/chronos_attack.h"
+
+namespace dnstime::attack {
+
+ChronosAttack::ChronosAttack(net::NetStack& attacker,
+                             ChronosAttackConfig config)
+    : stack_(attacker), config_(std::move(config)) {}
+
+bool ChronosAttack::attacker_wins(int honest_rounds,
+                                  std::size_t malicious_count) {
+  // Pool after the poisoning freezes: 4N honest + malicious_count ours.
+  double honest = 4.0 * honest_rounds;
+  double total = honest + static_cast<double>(malicious_count);
+  return static_cast<double>(malicious_count) >= (2.0 / 3.0) * total;
+}
+
+int ChronosAttack::max_tolerable_honest_rounds(std::size_t malicious_count) {
+  int n = -1;
+  while (attacker_wins(n + 1, malicious_count)) n++;
+  return n;
+}
+
+void ChronosAttack::inject_whitebox(dns::Resolver& resolver) const {
+  std::vector<dns::ResourceRecord> rrset;
+  rrset.reserve(config_.malicious_ntp.size());
+  for (Ipv4Addr addr : config_.malicious_ntp) {
+    rrset.push_back(dns::make_a(config_.pool_name, addr, config_.record_ttl));
+  }
+  resolver.cache().insert(config_.pool_name, dns::RrType::kA,
+                          std::move(rrset), stack_.now());
+}
+
+}  // namespace dnstime::attack

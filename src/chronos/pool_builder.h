@@ -1,0 +1,54 @@
+// Chronos server-pool generation (§VI, following the NDSS'18 proposal and
+// draft-schiff-ntp-chronos): query pool.ntp.org once an hour for 24 hours
+// and take the union of all returned addresses (4 per response => up to 96
+// servers).
+//
+// The two weaknesses the paper identifies live here, deliberately:
+//  * §VI-A the hourly query timing is predictable;
+//  * §VI-B responses are combined with no sanity checks — neither the TTL
+//    nor the number of addresses in a response is examined, so one
+//    poisoned response with 89 attacker addresses and TTL > 24 h dominates
+//    the pool and pins every later query to the resolver's cache.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "sim/time.h"
+
+namespace dnstime::chronos {
+
+struct PoolBuilderConfig {
+  std::string pool_domain = "pool.ntp.org";
+  int total_queries = 24;
+  sim::Duration query_interval = sim::Duration::hours(1);
+};
+
+class PoolBuilder {
+ public:
+  PoolBuilder(net::NetStack& stack, Ipv4Addr resolver,
+              PoolBuilderConfig config = {});
+
+  /// Begin the 24-hour collection; `on_query_done(n)` fires after each of
+  /// the queries with the current pool size (tests/attacks hook this).
+  void start(std::function<void(int)> on_query_done = nullptr);
+
+  [[nodiscard]] const std::vector<Ipv4Addr>& pool() const { return pool_; }
+  [[nodiscard]] int queries_done() const { return queries_done_; }
+  [[nodiscard]] bool finished() const {
+    return queries_done_ >= config_.total_queries;
+  }
+
+ private:
+  void query_once();
+
+  net::NetStack& stack_;
+  dns::StubResolver stub_;
+  PoolBuilderConfig config_;
+  std::vector<Ipv4Addr> pool_;
+  int queries_done_ = 0;
+  std::function<void(int)> on_query_done_;
+};
+
+}  // namespace dnstime::chronos

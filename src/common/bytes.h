@@ -1,0 +1,119 @@
+// Byte-buffer reader/writer used by all wire-format codecs (IPv4, UDP,
+// ICMP, DNS, NTP). All multi-byte integers are network (big-endian) order.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dnstime {
+
+using Bytes = std::vector<u8>;
+
+/// Thrown by codecs on malformed input. Decoders in this library never
+/// crash on attacker-controlled bytes; they throw this and the caller
+/// (typically a network stack) drops the packet.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential big-endian writer appending to an owned buffer.
+class ByteWriter {
+ public:
+  void write_u8(u8 v) { buf_.push_back(v); }
+  void write_u16(u16 v) {
+    buf_.push_back(static_cast<u8>(v >> 8));
+    buf_.push_back(static_cast<u8>(v));
+  }
+  void write_u32(u32 v) {
+    write_u16(static_cast<u16>(v >> 16));
+    write_u16(static_cast<u16>(v));
+  }
+  void write_u64(u64 v) {
+    write_u32(static_cast<u32>(v >> 32));
+    write_u32(static_cast<u32>(v));
+  }
+  void write_bytes(std::span<const u8> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void write_string(const std::string& s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Overwrite a previously written 16-bit field (e.g. a length or checksum
+  /// computed after the payload is known).
+  void patch_u16(std::size_t offset, u16 v) {
+    if (offset + 2 > buf_.size()) throw DecodeError("patch_u16 out of range");
+    buf_[offset] = static_cast<u8>(v >> 8);
+    buf_[offset + 1] = static_cast<u8>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential big-endian reader over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+  [[nodiscard]] u8 read_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] u16 read_u16() {
+    require(2);
+    u16 v = (u16{data_[pos_]} << 8) | u16{data_[pos_ + 1]};
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] u32 read_u32() {
+    u32 hi = read_u16();
+    return (hi << 16) | read_u16();
+  }
+  [[nodiscard]] u64 read_u64() {
+    u64 hi = read_u32();
+    return (hi << 32) | read_u32();
+  }
+  [[nodiscard]] Bytes read_bytes(std::size_t n) {
+    require(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  [[nodiscard]] Bytes read_remaining() { return read_bytes(remaining()); }
+
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw DecodeError("seek out of range");
+    pos_ = pos;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+  [[nodiscard]] std::span<const u8> raw() const { return data_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw DecodeError("truncated input");
+  }
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dnstime

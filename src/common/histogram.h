@@ -1,0 +1,98 @@
+// Histogram / empirical-CDF helpers used by the measurement benches
+// (Fig. 5 fragment-size CDF, Fig. 6 TTL histogram, Fig. 7 latency deltas).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnstime {
+
+/// Fixed-bin histogram over doubles; out-of-range samples clamp to the
+/// edge bins, mirroring the paper's Fig. 7 ("values below -50ms and above
+/// 200ms are summed up on the sides").
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double v) {
+    double clamped = std::clamp(v, lo_, std::nextafter(hi_, lo_));
+    auto bin = static_cast<std::size_t>((clamped - lo_) / (hi_ - lo_) *
+                                        static_cast<double>(counts_.size()));
+    counts_[std::min(bin, counts_.size() - 1)]++;
+    total_++;
+  }
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+  /// Render an ASCII bar chart, one row per bin; used by the figure benches.
+  [[nodiscard]] std::string render(std::size_t width = 50) const {
+    std::size_t max_count = 1;
+    for (auto c : counts_) max_count = std::max(max_count, c);
+    std::string out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      char label[64];
+      std::snprintf(label, sizeof label, "%9.1f..%-9.1f %8zu |", bin_lo(i),
+                    bin_hi(i), counts_[i]);
+      out += label;
+      out.append(counts_[i] * width / max_count, '#');
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical CDF over arbitrary samples; `fraction_leq(x)` answers the
+/// Fig. 5 question "what fraction of domains fragments to <= x bytes".
+class EmpiricalCdf {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] double fraction_leq(double x) const {
+    sort_if_needed();
+    if (samples_.empty()) return 0.0;
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double quantile(double q) const {
+    sort_if_needed();
+    if (samples_.empty()) return 0.0;
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1));
+    return samples_[idx];
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dnstime

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Experiments run millions of simulated packets, so
+// logging is compile-time cheap when disabled and never allocates on the
+// fast path unless the level is active.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dnstime {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kOff;
+    return lvl;
+  }
+  static bool enabled(LogLevel l) { return l >= level(); }
+
+  template <typename... Args>
+  static void log(LogLevel l, const char* tag, Args&&... args) {
+    if (!enabled(l)) return;
+    std::ostringstream os;
+    os << "[" << tag << "] ";
+    (os << ... << args);
+    std::cerr << os.str() << "\n";
+  }
+};
+
+#define DNSTIME_LOG(level, tag, ...) \
+  ::dnstime::Logger::log(::dnstime::LogLevel::level, tag, __VA_ARGS__)
+
+}  // namespace dnstime

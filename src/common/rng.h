@@ -1,0 +1,72 @@
+// Deterministic, seedable random source. Every stochastic component in the
+// simulation (IPID counters, port/TXID randomisation, population sampling,
+// latency jitter) draws from an Rng owned by its scenario, so whole
+// experiments replay bit-identically from a seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dnstime {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] u64 uniform(u64 lo, u64 hi) {
+    return std::uniform_int_distribution<u64>(lo, hi)(engine_);
+  }
+  [[nodiscard]] u32 next_u32() {
+    return static_cast<u32>(uniform(0, 0xFFFFFFFFull));
+  }
+  [[nodiscard]] u16 next_u16() { return static_cast<u16>(uniform(0, 0xFFFF)); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) { return uniform01() < p; }
+
+  /// Normal deviate (used for latency jitter in the timing side channel).
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  /// Exponential deviate with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order randomised.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k && i < n; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(uniform(0, n - i - 1));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k < n ? k : n);
+    return idx;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derive an independent child stream (for per-component determinism).
+  [[nodiscard]] Rng fork() { return Rng(uniform(0, ~u64{0})); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dnstime

@@ -1,0 +1,54 @@
+// Small statistics helpers shared by clients (clock filters take medians)
+// and measurement analysis (means, percentiles).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace dnstime {
+
+[[nodiscard]] inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+[[nodiscard]] inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(),
+                   v.begin() + static_cast<std::ptrdiff_t>(mid - 1),
+                   v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (v[mid - 1] + hi) / 2.0;
+}
+
+[[nodiscard]] inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+/// Simple least-squares slope of y over x; the IPID predictor fits the
+/// global IPID counter's increment rate with this.
+[[nodiscard]] inline double linear_slope(const std::vector<double>& x,
+                                         const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double mx = mean(x), my = mean(y);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace dnstime

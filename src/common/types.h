@@ -1,0 +1,67 @@
+// Basic value types shared across the library.
+//
+// The simulator works with real wire formats, so addresses and ports are
+// modelled exactly as on the wire: IPv4 addresses are 32-bit big-endian
+// values, ports are 16 bits.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dnstime {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i64 = std::int64_t;
+
+/// An IPv4 address. Stored in host order; serialised big-endian by codecs.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(u32 value) : value_(value) {}
+  constexpr Ipv4Addr(u8 a, u8 b, u8 c, u8 d)
+      : value_((u32{a} << 24) | (u32{b} << 16) | (u32{c} << 8) | u32{d}) {}
+
+  [[nodiscard]] constexpr u32 value() const { return value_; }
+  [[nodiscard]] constexpr std::array<u8, 4> octets() const {
+    return {static_cast<u8>(value_ >> 24), static_cast<u8>(value_ >> 16),
+            static_cast<u8>(value_ >> 8), static_cast<u8>(value_)};
+  }
+
+  /// /24 network prefix, used by the shared-resolver discovery scan which
+  /// port-scans the /24 of every observed resolver (paper §VIII-B3).
+  [[nodiscard]] constexpr u32 slash24() const { return value_ >> 8; }
+
+  [[nodiscard]] std::string to_string() const {
+    auto o = octets();
+    return std::to_string(o[0]) + "." + std::to_string(o[1]) + "." +
+           std::to_string(o[2]) + "." + std::to_string(o[3]);
+  }
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  u32 value_ = 0;
+};
+
+/// Unspecified address, used as "not yet assigned".
+inline constexpr Ipv4Addr kAnyAddr{};
+
+/// Well-known ports used throughout the simulation.
+inline constexpr u16 kDnsPort = 53;
+inline constexpr u16 kNtpPort = 123;
+inline constexpr u16 kSmtpPort = 25;
+
+}  // namespace dnstime
+
+template <>
+struct std::hash<dnstime::Ipv4Addr> {
+  std::size_t operator()(const dnstime::Ipv4Addr& a) const noexcept {
+    return std::hash<dnstime::u32>{}(a.value());
+  }
+};

@@ -1,0 +1,40 @@
+#include "dns/cache.h"
+
+#include <algorithm>
+
+namespace dnstime::dns {
+
+void DnsCache::insert(const DnsName& name, RrType type,
+                      std::vector<ResourceRecord> rrset, sim::Time now,
+                      u32 max_ttl) {
+  if (rrset.empty()) return;
+  u32 ttl = max_ttl;
+  for (const auto& rr : rrset) ttl = std::min(ttl, rr.ttl);
+  Entry entry{std::move(rrset),
+              now + sim::Duration::seconds(static_cast<i64>(ttl))};
+  entries_[Key{name.to_string(), type}] = std::move(entry);
+}
+
+std::optional<std::vector<ResourceRecord>> DnsCache::lookup(
+    const DnsName& name, RrType type, sim::Time now) const {
+  auto it = entries_.find(Key{name.to_string(), type});
+  if (it == entries_.end() || it->second.expires <= now) return std::nullopt;
+  auto remaining =
+      static_cast<u32>((it->second.expires - now).to_seconds());
+  std::vector<ResourceRecord> out = it->second.rrset;
+  for (auto& rr : out) rr.ttl = remaining;
+  return out;
+}
+
+std::optional<u32> DnsCache::remaining_ttl(const DnsName& name, RrType type,
+                                           sim::Time now) const {
+  auto it = entries_.find(Key{name.to_string(), type});
+  if (it == entries_.end() || it->second.expires <= now) return std::nullopt;
+  return static_cast<u32>((it->second.expires - now).to_seconds());
+}
+
+void DnsCache::evict(const DnsName& name, RrType type) {
+  entries_.erase(Key{name.to_string(), type});
+}
+
+}  // namespace dnstime::dns

@@ -1,0 +1,106 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dnstime::dns {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+DnsName DnsName::from_string(const std::string& s) {
+  std::vector<std::string> labels;
+  std::string cur;
+  for (char c : s) {
+    if (c == '.') {
+      if (!cur.empty()) labels.push_back(lower(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) labels.push_back(lower(cur));
+  return DnsName{std::move(labels)};
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& l : labels_) {
+    if (!out.empty()) out += '.';
+    out += l;
+  }
+  return out;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& suffix) const {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  return std::equal(suffix.labels_.rbegin(), suffix.labels_.rend(),
+                    labels_.rbegin());
+}
+
+DnsName DnsName::prepend(const std::string& label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.push_back(lower(label));
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return DnsName{std::move(labels)};
+}
+
+void NameCompressor::write_name(ByteWriter& w, const DnsName& name) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Canonical dotted form of the suffix starting at label i.
+    std::string suffix;
+    for (std::size_t j = i; j < labels.size(); ++j) {
+      if (!suffix.empty()) suffix += '.';
+      suffix += labels[j];
+    }
+    for (const auto& k : known_) {
+      if (k.suffix == suffix) {
+        w.write_u16(static_cast<u16>(0xC000 | k.offset));
+        return;
+      }
+    }
+    // Offsets beyond 14 bits cannot be pointer targets; still encodable
+    // inline, just not compressible.
+    if (w.size() <= 0x3FFF) {
+      known_.push_back(Known{suffix, static_cast<u16>(w.size())});
+    }
+    if (labels[i].size() > 63) throw DecodeError("label too long");
+    w.write_u8(static_cast<u8>(labels[i].size()));
+    w.write_string(labels[i]);
+  }
+  w.write_u8(0);
+}
+
+DnsName read_name(ByteReader& r) {
+  std::vector<std::string> labels;
+  std::size_t jumps = 0;
+  std::optional<std::size_t> resume;  // position after the first pointer
+  for (;;) {
+    u8 len = r.read_u8();
+    if ((len & 0xC0) == 0xC0) {
+      u16 ptr = static_cast<u16>((u16{static_cast<u16>(len & 0x3F)} << 8) |
+                                 r.read_u8());
+      if (!resume) resume = r.pos();
+      if (++jumps > 32) throw DecodeError("compression loop");
+      r.seek(ptr);
+      continue;
+    }
+    if (len == 0) break;
+    if (len > 63) throw DecodeError("bad label length");
+    Bytes raw = r.read_bytes(len);
+    labels.emplace_back(raw.begin(), raw.end());
+    if (labels.size() > 128) throw DecodeError("name too long");
+  }
+  if (resume) r.seek(*resume);
+  return DnsName{std::move(labels)};
+}
+
+}  // namespace dnstime::dns

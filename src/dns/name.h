@@ -1,0 +1,63 @@
+// DNS domain names: label sequences with RFC 1035 wire encoding including
+// message compression pointers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace dnstime::dns {
+
+class DnsName {
+ public:
+  DnsName() = default;
+  explicit DnsName(std::vector<std::string> labels)
+      : labels_(std::move(labels)) {}
+
+  /// Parse dotted notation ("pool.ntp.org"). Case-insensitive (lowered).
+  [[nodiscard]] static DnsName from_string(const std::string& s);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+
+  /// True if `this` equals `suffix` or is a subdomain of it — used for
+  /// zone-cut matching ("0.pool.ntp.org" is_subdomain_of "pool.ntp.org").
+  [[nodiscard]] bool is_subdomain_of(const DnsName& suffix) const;
+
+  /// Prepend a label ("0" + pool.ntp.org -> 0.pool.ntp.org).
+  [[nodiscard]] DnsName prepend(const std::string& label) const;
+
+  friend auto operator<=>(const DnsName&, const DnsName&) = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Encoder-side compression state: maps already-emitted name suffixes to
+/// their message offsets. One instance lives per message encode.
+class NameCompressor {
+ public:
+  /// Append `name`'s wire form to `w`, using compression pointers to
+  /// earlier occurrences where possible and registering new suffixes.
+  void write_name(ByteWriter& w, const DnsName& name);
+
+ private:
+  struct Known {
+    std::string suffix;  ///< canonical dotted suffix
+    u16 offset;
+  };
+  std::vector<Known> known_;
+};
+
+/// Decode a (possibly compressed) name starting at the reader's position.
+/// `r` must view the whole message so pointers can be chased; the reader
+/// ends up just past the name's in-place bytes.
+[[nodiscard]] DnsName read_name(ByteReader& r);
+
+}  // namespace dnstime::dns

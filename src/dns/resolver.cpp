@@ -1,0 +1,373 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace dnstime::dns {
+
+Resolver::Resolver(net::NetStack& stack, Config config)
+    : stack_(stack), config_(std::move(config)) {
+  stack_.bind_udp(kDnsPort, [this](const net::UdpEndpoint& from, u16,
+                                   const Bytes& payload) {
+    on_client_query(from, payload);
+  });
+}
+
+Resolver::~Resolver() {
+  stack_.unbind_udp(kDnsPort);
+  for (auto& [key, p] : pending_) {
+    p.timeout.cancel();
+    if (p.src_port != 0) stack_.unbind_udp(p.src_port);
+  }
+}
+
+void Resolver::add_zone_hint(const DnsName& apex,
+                             std::vector<Ipv4Addr> addrs) {
+  hints_.emplace_back(apex, std::move(addrs));
+}
+
+void Resolver::on_client_query(const net::UdpEndpoint& from,
+                               const Bytes& payload) {
+  DnsMessage query;
+  try {
+    query = decode_dns(payload);
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (query.qr || query.questions.size() != 1) return;
+  if (!config_.open_to_world &&
+      from.addr.slash24() != stack_.addr().slash24()) {
+    return;  // closed resolver: serve only the local network
+  }
+  client_queries_++;
+  const DnsQuestion& q = query.questions.front();
+  if (config_.ignore_rd_bit) query.rd = true;
+
+  auto cached = cache_.lookup(q.name, q.type, stack_.now());
+  if (cached) {
+    cache_hits_++;
+    answer_from_cache(from, query.id, q, *cached);
+    return;
+  }
+  if (!query.rd) {
+    // RD=0 and not cached: answer without records. This non-destructive
+    // distinction is what the Table IV cache-probing study keys on.
+    respond_empty(from, query.id, q, Rcode::kNoError);
+    return;
+  }
+  start_upstream(q, from, query.id);
+}
+
+void Resolver::answer_from_cache(const net::UdpEndpoint& to, u16 id,
+                                 const DnsQuestion& q,
+                                 const std::vector<ResourceRecord>& rrset) {
+  DnsMessage resp;
+  resp.id = id;
+  resp.qr = true;
+  resp.ra = true;
+  resp.questions = {q};
+  resp.answers = rrset;
+  stack_.send_udp(to.addr, kDnsPort, to.port, encode_dns(resp));
+}
+
+void Resolver::respond_empty(const net::UdpEndpoint& to, u16 id,
+                             const DnsQuestion& q, Rcode rcode) {
+  DnsMessage resp;
+  resp.id = id;
+  resp.qr = true;
+  resp.ra = true;
+  resp.rcode = rcode;
+  resp.questions = {q};
+  stack_.send_udp(to.addr, kDnsPort, to.port, encode_dns(resp));
+}
+
+void Resolver::start_upstream(const DnsQuestion& q,
+                              const net::UdpEndpoint& client, u16 client_id) {
+  // Coalesce with an in-flight query for the same question.
+  for (auto& [key, p] : pending_) {
+    if (p.question == q) {
+      p.clients.push_back(client);
+      p.client_ids.push_back(client_id);
+      return;
+    }
+  }
+  auto upstream = pick_upstream(q.name);
+  if (!upstream) {
+    respond_empty(client, client_id, q, Rcode::kRefused);
+    return;
+  }
+  u64 key = next_pending_key_++;
+  Pending p;
+  p.question = q;
+  p.clients.push_back(client);
+  p.client_ids.push_back(client_id);
+  p.upstream = *upstream;
+  pending_.emplace(key, std::move(p));
+  send_upstream(pending_.at(key));
+}
+
+void Resolver::send_upstream(Pending& p) {
+  upstream_queries_++;
+  p.attempts++;
+  if (p.src_port != 0) stack_.unbind_udp(p.src_port);
+  p.txid = config_.randomize_challenge ? stack_.rng().next_u16() : seq_txid_++;
+  p.src_port = config_.randomize_challenge
+                   ? stack_.ephemeral_port()
+                   : static_cast<u16>(10000 + (seq_txid_ % 1000));
+
+  // Locate our own key (small map; linear scan is fine at sim scale).
+  u64 key = 0;
+  for (auto& [k, cand] : pending_) {
+    if (&cand == &p) {
+      key = k;
+      break;
+    }
+  }
+
+  stack_.bind_udp(p.src_port, [this, key](const net::UdpEndpoint& from, u16,
+                                          const Bytes& payload) {
+    on_upstream_response(key, from, payload);
+  });
+
+  DnsMessage query;
+  query.id = p.txid;
+  query.rd = false;  // iterative upstream query
+  query.questions = {p.question};
+  stack_.send_udp(p.upstream, p.src_port, kDnsPort, encode_dns(query));
+
+  p.timeout.cancel();
+  p.timeout = stack_.loop().schedule_after(
+      config_.upstream_timeout, [this, key] { on_upstream_timeout(key); });
+}
+
+void Resolver::on_upstream_response(u64 key, const net::UdpEndpoint& from,
+                                    const Bytes& payload) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+
+  // Challenge-response checks: source address, TXID, question. The source
+  // port check is implicit — the handler is bound to the random port.
+  if (from.addr != p.upstream || from.port != kDnsPort) {
+    mismatched_++;
+    return;
+  }
+  DnsMessage response;
+  try {
+    response = decode_dns(payload);
+  } catch (const DecodeError&) {
+    mismatched_++;
+    return;
+  }
+  if (!response.qr || response.id != p.txid ||
+      response.questions.size() != 1 ||
+      !(response.questions.front() == p.question)) {
+    mismatched_++;
+    return;
+  }
+  if (config_.validate_dnssec && !validate(response)) {
+    validation_failures_++;
+    fail(key, Rcode::kServFail);
+    return;
+  }
+  finish(key, response);
+}
+
+void Resolver::on_upstream_timeout(u64 key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.attempts <= config_.upstream_retries) {
+    send_upstream(p);
+    return;
+  }
+  fail(key, Rcode::kServFail);
+}
+
+void Resolver::finish(u64 key, const DnsMessage& response) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  p.timeout.cancel();
+  stack_.unbind_udp(p.src_port);
+  pending_.erase(it);
+
+  cache_response(p.question, response);
+
+  // Answer every waiting client from what we just learned.
+  auto cached = cache_.lookup(p.question.name, p.question.type, stack_.now());
+  for (std::size_t i = 0; i < p.clients.size(); ++i) {
+    if (cached) {
+      answer_from_cache(p.clients[i], p.client_ids[i], p.question, *cached);
+    } else {
+      respond_empty(p.clients[i], p.client_ids[i], p.question,
+                    response.rcode);
+    }
+  }
+}
+
+void Resolver::fail(u64 key, Rcode rcode) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  p.timeout.cancel();
+  if (p.src_port != 0) stack_.unbind_udp(p.src_port);
+  pending_.erase(it);
+  for (std::size_t i = 0; i < p.clients.size(); ++i) {
+    respond_empty(p.clients[i], p.client_ids[i], p.question, rcode);
+  }
+}
+
+std::optional<Ipv4Addr> Resolver::pick_upstream(const DnsName& name) {
+  // Prefer the most specific *cached* delegation: walk suffixes from the
+  // full name down to 1 label, looking for NS + glue.
+  const auto& labels = name.labels();
+  for (std::size_t drop = 0; drop < labels.size(); ++drop) {
+    DnsName suffix{std::vector<std::string>(labels.begin() +
+                                                static_cast<std::ptrdiff_t>(drop),
+                                            labels.end())};
+    auto ns = cache_.lookup(suffix, RrType::kNs, stack_.now());
+    if (!ns) continue;
+    std::vector<Ipv4Addr> candidates;
+    for (const auto& rr : *ns) {
+      if (rr.type != RrType::kNs) continue;
+      auto glue = cache_.lookup(rr.target, RrType::kA, stack_.now());
+      if (glue) {
+        for (const auto& g : *glue) {
+          if (g.type == RrType::kA) candidates.push_back(g.a);
+        }
+      }
+    }
+    if (!candidates.empty()) {
+      return candidates[stack_.rng().uniform(0, candidates.size() - 1)];
+    }
+  }
+  // Fall back to the longest-matching static hint.
+  const std::vector<Ipv4Addr>* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [apex, addrs] : hints_) {
+    if (name.is_subdomain_of(apex) && apex.label_count() >= best_len) {
+      best = &addrs;
+      best_len = apex.label_count();
+    }
+  }
+  if (!best || best->empty()) return std::nullopt;
+  return (*best)[stack_.rng().uniform(0, best->size() - 1)];
+}
+
+bool Resolver::validate(const DnsMessage& response) {
+  // Group records by (owner, type) per section and check each RRset that
+  // falls under a trust anchor has a valid covering RRSIG.
+  auto check_section = [&](const std::vector<ResourceRecord>& recs) {
+    std::map<std::pair<std::string, RrType>, std::vector<ResourceRecord>>
+        rrsets;
+    std::map<std::pair<std::string, RrType>, u64> sigs;
+    for (const auto& rr : recs) {
+      if (rr.type == RrType::kRrsig) {
+        sigs[{rr.name.to_string(), rr.covered}] = rr.signature;
+      } else {
+        rrsets[{rr.name.to_string(), rr.type}].push_back(rr);
+      }
+    }
+    for (const auto& [key, rrset] : rrsets) {
+      // Find the closest trust anchor covering this owner.
+      DnsName owner = DnsName::from_string(key.first);
+      const u64* secret = nullptr;
+      for (const auto& [apex, s] : config_.trust_anchors) {
+        if (owner.is_subdomain_of(DnsName::from_string(apex))) {
+          secret = &s;
+          break;
+        }
+      }
+      if (!secret) continue;  // unsigned zone: nothing to validate
+      auto sig_it = sigs.find(key);
+      if (sig_it == sigs.end()) return false;  // signed zone, missing RRSIG
+      u64 expect = sign_rrset(*secret, rrset.front().name, key.second, rrset);
+      if (sig_it->second != expect) return false;
+    }
+    return true;
+  };
+  return check_section(response.answers) &&
+         check_section(response.authority) &&
+         check_section(response.additional);
+}
+
+void Resolver::cache_response(const DnsQuestion& q,
+                              const DnsMessage& response) {
+  // Bailiwick rule: only cache records at or below the queried name's
+  // zone (approximated by the matching hint/delegation apex). We use the
+  // query name's parent domain as the bailiwick boundary.
+  auto in_bailiwick = [&](const DnsName& owner) {
+    // Accept records for the qname itself or any domain sharing the
+    // qname's registrable suffix (last 2 labels) — models the RFC 5452
+    // guidance real resolvers apply.
+    const auto& ql = q.name.labels();
+    if (ql.size() < 2) return true;
+    DnsName suffix{std::vector<std::string>(ql.end() - 2, ql.end())};
+    return owner.is_subdomain_of(suffix);
+  };
+
+  auto cache_section = [&](const std::vector<ResourceRecord>& recs) {
+    std::map<std::pair<std::string, RrType>, std::vector<ResourceRecord>>
+        rrsets;
+    for (const auto& rr : recs) {
+      if (rr.type == RrType::kRrsig) continue;
+      if (!in_bailiwick(rr.name)) continue;
+      rrsets[{rr.name.to_string(), rr.type}].push_back(rr);
+    }
+    for (auto& [key, rrset] : rrsets) {
+      cache_.insert(DnsName::from_string(key.first), key.second,
+                    std::move(rrset), stack_.now(), config_.max_cache_ttl);
+    }
+  };
+  cache_section(response.answers);
+  cache_section(response.authority);
+  cache_section(response.additional);
+}
+
+void StubResolver::resolve(const DnsName& name, RrType type, Callback cb,
+                           sim::Duration timeout) {
+  queries_sent_++;
+  u16 port = stack_.ephemeral_port();
+  u16 txid = stack_.rng().next_u16();
+
+  // Shared completion state between the response handler and the timeout.
+  auto done = std::make_shared<bool>(false);
+  auto finish = [this, port, done, cb](
+                    const std::vector<ResourceRecord>& answers) {
+    if (*done) return;
+    *done = true;
+    stack_.unbind_udp(port);
+    cb(answers);
+  };
+
+  stack_.bind_udp(port, [txid, name, type, finish](
+                            const net::UdpEndpoint&, u16,
+                            const Bytes& payload) {
+    DnsMessage resp;
+    try {
+      resp = decode_dns(payload);
+    } catch (const DecodeError&) {
+      return;
+    }
+    if (!resp.qr || resp.id != txid) return;
+    std::vector<ResourceRecord> answers;
+    for (const auto& rr : resp.answers) {
+      if (rr.type == type && rr.name == name) answers.push_back(rr);
+    }
+    finish(answers);
+  });
+
+  DnsMessage query;
+  query.id = txid;
+  query.rd = true;
+  query.questions = {DnsQuestion{name, type}};
+  stack_.send_udp(resolver_, port, kDnsPort, encode_dns(query));
+
+  stack_.loop().schedule_after(timeout,
+                               [finish] { finish({}); });
+}
+
+}  // namespace dnstime::dns

@@ -1,0 +1,125 @@
+#include "measure/populations.h"
+
+namespace dnstime::measure {
+
+PoolServerProfile sample_pool_server(Rng& rng, const PoolServerParams& p) {
+  PoolServerProfile profile;
+  profile.rate_limits = rng.chance(p.rate_limit_fraction);
+  profile.sends_kod =
+      profile.rate_limits && rng.chance(p.kod_fraction_of_limiters);
+  profile.open_config = rng.chance(p.open_config_fraction);
+  return profile;
+}
+
+NameserverProfile sample_nameserver(Rng& rng, const DomainParams& p) {
+  NameserverProfile profile;
+  profile.dnssec_signed = rng.chance(p.dnssec_fraction);
+  profile.honors_pmtud = rng.chance(p.fragments_fraction);
+  if (!profile.honors_pmtud) {
+    profile.min_fragment_size = net::kEthernetMtu;
+    return profile;
+  }
+  if (rng.chance(p.min548_fraction)) {
+    profile.min_fragment_size =
+        rng.chance(p.min292_fraction / p.min548_fraction) ? 292 : 548;
+  } else {
+    // The Fig. 5 tail: fragments, but only down to near-Ethernet sizes.
+    profile.min_fragment_size = 1276;
+  }
+  return profile;
+}
+
+OpenResolverProfile sample_open_resolver(Rng& rng,
+                                         const OpenResolverParams& p) {
+  OpenResolverProfile profile;
+  profile.cached_ns = rng.chance(p.cached_ns);
+  profile.cached_a = rng.chance(p.cached_a);
+  for (int i = 0; i < 4; ++i) {
+    profile.cached_sub_a[i] = rng.chance(p.cached_sub_a[i]);
+  }
+  if (profile.cached_a) {
+    // A record TTL is 150 s; a cache populated at a random time in the
+    // past holds a uniformly distributed remainder (Fig. 6).
+    profile.a_ttl_remaining = static_cast<u32>(rng.uniform(1, 149));
+  }
+  profile.ignores_rd_bit = rng.chance(p.ignores_rd_bit);
+  profile.accepts_fragments = rng.chance(p.accepts_fragments);
+  return profile;
+}
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::kAsia: return "Asia";
+    case Region::kAfrica: return "Africa";
+    case Region::kEurope: return "Europe";
+    case Region::kNorthAmerica: return "Northern America";
+    case Region::kLatinAmerica: return "Latin America";
+  }
+  return "?";
+}
+
+std::vector<AdClientProfile> sample_ad_clients(Rng& rng,
+                                               const AdClientParams& p) {
+  std::vector<AdClientProfile> clients;
+  for (const auto& [region, count] : p.region_counts) {
+    for (std::size_t i = 0; i < count; ++i) {
+      AdClientProfile c;
+      c.region = region;
+      c.device = rng.chance(p.mobile_fraction) ? Device::kMobile
+                                               : Device::kPc;
+      c.uses_google_resolver = rng.chance(p.google_resolver_fraction);
+      // NB: thresholds use the sizes fragments actually take on the
+      // wire — payloads are 8-aligned, so MTU 296 emits 292-byte leading
+      // fragments and MTU 1280 emits 1276-byte ones.
+      if (c.uses_google_resolver) {
+        // Google's resolvers filter every fragment size below "big".
+        c.resolver_min_fragment = 1276;
+      } else {
+        double accept_tiny =
+            p.accept_tiny_by_region[static_cast<int>(region)];
+        double u = rng.uniform01();
+        if (u < accept_tiny) {
+          c.resolver_min_fragment = 0;
+        } else if (u < accept_tiny + p.accept_small_extra) {
+          c.resolver_min_fragment = 292;
+        } else if (u < accept_tiny + p.accept_small_extra +
+                           p.accept_medium_extra) {
+          c.resolver_min_fragment = 580;
+        } else if (u < accept_tiny + p.accept_small_extra +
+                           p.accept_medium_extra + p.accept_big_extra) {
+          c.resolver_min_fragment = 1276;
+        } else {
+          c.resolver_min_fragment = 0xFFFF;  // rejects all fragments
+        }
+      }
+      c.resolver_validates_dnssec =
+          rng.chance(p.dnssec_validation[static_cast<int>(region)]);
+      c.result_valid = !rng.chance(p.invalid_result_fraction);
+      clients.push_back(c);
+    }
+  }
+  return clients;
+}
+
+std::vector<WebResolverProfile> sample_web_resolvers(
+    Rng& rng, const SharedResolverParams& p) {
+  std::vector<WebResolverProfile> out;
+  out.reserve(p.web_resolvers);
+  for (std::size_t i = 0; i < p.web_resolvers; ++i) {
+    WebResolverProfile r;
+    double u = rng.uniform01();
+    if (u < p.open_and_smtp_fraction) {
+      r.is_open = true;
+      r.has_smtp_neighbor = true;
+    } else if (u < p.open_and_smtp_fraction + p.open_fraction) {
+      r.is_open = true;
+    } else if (u < p.open_and_smtp_fraction + p.open_fraction +
+                       p.smtp_shared_fraction) {
+      r.has_smtp_neighbor = true;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dnstime::measure

@@ -1,0 +1,35 @@
+#include "net/fragmentation.h"
+
+#include "common/bytes.h"
+
+namespace dnstime::net {
+
+std::vector<Ipv4Packet> fragment(const Ipv4Packet& full, u16 mtu) {
+  if (full.is_fragment()) throw DecodeError("refusing to re-fragment");
+  if (full.total_length() <= mtu) return {full};
+  if (full.dont_fragment) throw DecodeError("DF set but packet exceeds MTU");
+  std::size_t chunk = fragment_payload_capacity(mtu);
+  if (chunk == 0) throw DecodeError("MTU too small to fragment");
+
+  std::vector<Ipv4Packet> frags;
+  std::size_t offset = 0;
+  while (offset < full.payload.size()) {
+    std::size_t take = std::min(chunk, full.payload.size() - offset);
+    Ipv4Packet f;
+    f.src = full.src;
+    f.dst = full.dst;
+    f.id = full.id;
+    f.ttl = full.ttl;
+    f.protocol = full.protocol;
+    f.frag_offset_units = static_cast<u16>(offset / 8);
+    f.payload.assign(full.payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                     full.payload.begin() +
+                         static_cast<std::ptrdiff_t>(offset + take));
+    offset += take;
+    f.more_fragments = offset < full.payload.size();
+    frags.push_back(std::move(f));
+  }
+  return frags;
+}
+
+}  // namespace dnstime::net

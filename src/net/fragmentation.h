@@ -1,0 +1,24 @@
+// IPv4 fragmentation (RFC 791 sender side).
+#pragma once
+
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace dnstime::net {
+
+/// Split `full` (an unfragmented packet) into fragments whose total IP
+/// length does not exceed `mtu`. Fragment payload sizes are multiples of 8
+/// except for the last fragment. Returns {full} unchanged if it fits.
+/// Throws DecodeError if `mtu` cannot carry any payload (< 28 bytes) or the
+/// packet has DF set and does not fit.
+[[nodiscard]] std::vector<Ipv4Packet> fragment(const Ipv4Packet& full,
+                                               u16 mtu);
+
+/// Maximum payload bytes per fragment for a given MTU (8-byte aligned).
+[[nodiscard]] constexpr std::size_t fragment_payload_capacity(u16 mtu) {
+  if (mtu <= kIpv4HeaderSize) return 0;
+  return (static_cast<std::size_t>(mtu) - kIpv4HeaderSize) / 8 * 8;
+}
+
+}  // namespace dnstime::net

@@ -1,0 +1,87 @@
+#include "net/reassembly.h"
+
+#include <algorithm>
+
+namespace dnstime::net {
+
+std::optional<Ipv4Packet> ReassemblyCache::insert(const Ipv4Packet& frag,
+                                                  sim::Time now) {
+  Key key{frag.src, frag.dst, frag.protocol, frag.id};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (count_pair(key) >= policy_.max_datagrams_per_pair) {
+      // Per-pair overflow: the OS refuses to cache more incomplete
+      // datagrams for this endpoint pair. The attacker's spray width is
+      // bounded by this.
+      evicted_overflow_++;
+      return std::nullopt;
+    }
+    Entry fresh;
+    fresh.first_seen = now;
+    it = entries_.emplace(key, std::move(fresh)).first;
+  }
+  Entry& entry = it->second;
+
+  // First arrival wins for a given offset: a spoofed fragment already in
+  // the cache is *not* displaced by the genuine one.
+  if (!entry.parts.contains(frag.frag_offset_units)) {
+    entry.parts.emplace(frag.frag_offset_units, frag.payload);
+    if (!frag.more_fragments) {
+      entry.have_last = true;
+      entry.total_payload = frag.frag_offset_bytes() + frag.payload.size();
+    }
+  }
+
+  auto done = try_complete(key, entry);
+  if (done) entries_.erase(key);
+  return done;
+}
+
+std::optional<Ipv4Packet> ReassemblyCache::try_complete(const Key& key,
+                                                        Entry& entry) {
+  if (!entry.have_last) return std::nullopt;
+  // Check contiguous coverage [0, total_payload).
+  std::size_t covered = 0;
+  for (const auto& [offset_units, part] : entry.parts) {
+    std::size_t start = std::size_t{offset_units} * 8;
+    if (start > covered) return std::nullopt;  // hole
+    covered = std::max(covered, start + part.size());
+  }
+  if (covered < entry.total_payload) return std::nullopt;
+
+  Ipv4Packet full;
+  full.src = key.src;
+  full.dst = key.dst;
+  full.protocol = key.proto;
+  full.id = key.id;
+  full.payload.assign(entry.total_payload, 0);
+  for (const auto& [offset_units, part] : entry.parts) {
+    std::size_t start = std::size_t{offset_units} * 8;
+    std::size_t n = std::min(part.size(), entry.total_payload - start);
+    std::copy_n(part.begin(), n,
+                full.payload.begin() + static_cast<std::ptrdiff_t>(start));
+  }
+  completed_++;
+  return full;
+}
+
+void ReassemblyCache::expire(sim::Time now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.first_seen >= policy_.timeout) {
+      it = entries_.erase(it);
+      expired_++;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t ReassemblyCache::count_pair(const Key& key) const {
+  std::size_t n = 0;
+  for (const auto& [k, _] : entries_) {
+    if (k.src == key.src && k.dst == key.dst && k.proto == key.proto) n++;
+  }
+  return n;
+}
+
+}  // namespace dnstime::net

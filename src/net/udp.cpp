@@ -1,0 +1,55 @@
+#include "net/udp.h"
+
+#include "net/checksum.h"
+
+namespace dnstime::net {
+
+namespace {
+
+Bytes encode_with_checksum(const UdpDatagram& dgram, u16 csum) {
+  ByteWriter w;
+  w.write_u16(dgram.src_port);
+  w.write_u16(dgram.dst_port);
+  w.write_u16(static_cast<u16>(kUdpHeaderSize + dgram.payload.size()));
+  w.write_u16(csum);
+  w.write_bytes(dgram.payload);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+u16 udp_checksum(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
+  auto length = static_cast<u16>(kUdpHeaderSize + dgram.payload.size());
+  Bytes wire = encode_with_checksum(dgram, 0);
+  u16 sum = pseudo_header_sum(src, dst, kProtoUdp, length);
+  sum = ones_complement_add(sum, ones_complement_sum(wire));
+  u16 csum = static_cast<u16>(~sum);
+  // RFC 768: transmitted 0 means "no checksum"; an all-zero result is sent
+  // as 0xFFFF.
+  return csum == 0 ? 0xFFFF : csum;
+}
+
+Bytes encode_udp(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
+  return encode_with_checksum(dgram, udp_checksum(dgram, src, dst));
+}
+
+UdpDatagram decode_udp(std::span<const u8> data, Ipv4Addr src, Ipv4Addr dst) {
+  ByteReader r(data);
+  UdpDatagram d;
+  d.src_port = r.read_u16();
+  d.dst_port = r.read_u16();
+  u16 length = r.read_u16();
+  if (length < kUdpHeaderSize || length > data.size()) {
+    throw DecodeError("bad UDP length");
+  }
+  u16 wire_csum = r.read_u16();
+  d.payload = r.read_bytes(length - kUdpHeaderSize);
+  if (wire_csum != 0) {
+    u16 sum = pseudo_header_sum(src, dst, kProtoUdp, length);
+    sum = ones_complement_add(sum, ones_complement_sum(data.subspan(0, length)));
+    if (static_cast<u16>(~sum) != 0) throw DecodeError("bad UDP checksum");
+  }
+  return d;
+}
+
+}  // namespace dnstime::net

@@ -1,0 +1,32 @@
+// UDP datagram codec with real RFC 768 checksum over the IPv4 pseudo
+// header. Checksum verification on receive is what forces the attacker's
+// §III-3 compensation trick — a naively modified fragment fails here.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "net/ipv4.h"
+
+namespace dnstime::net {
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpDatagram {
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  Bytes payload;
+};
+
+/// Encode with checksum computed over pseudo header + UDP header + payload.
+[[nodiscard]] Bytes encode_udp(const UdpDatagram& dgram, Ipv4Addr src,
+                               Ipv4Addr dst);
+
+/// Decode and verify the checksum; throws DecodeError on mismatch.
+[[nodiscard]] UdpDatagram decode_udp(std::span<const u8> data, Ipv4Addr src,
+                                     Ipv4Addr dst);
+
+/// Compute the checksum that `encode_udp` would place in the header.
+[[nodiscard]] u16 udp_checksum(const UdpDatagram& dgram, Ipv4Addr src,
+                               Ipv4Addr dst);
+
+}  // namespace dnstime::net

@@ -1,0 +1,38 @@
+#include "ntp/association.h"
+
+namespace dnstime::ntp {
+
+void Association::on_poll_sent() {
+  reach_ = static_cast<u8>(reach_ << 1);
+  unanswered_++;
+}
+
+void Association::on_response(double offset, double delay, sim::Time now) {
+  reach_ |= 1;
+  unanswered_ = 0;
+  responses_++;
+  last_response_ = now;
+  samples_.push_back({offset, delay});
+  while (samples_.size() > 8) samples_.pop_front();
+}
+
+void Association::on_kod(sim::Time now) {
+  kods_++;
+  last_response_ = now;
+}
+
+std::optional<double> Association::filtered_offset() const {
+  if (samples_.empty()) return std::nullopt;
+  const Sample* best = &samples_.front();
+  for (const auto& s : samples_) {
+    if (s.delay <= best->delay) best = &s;
+  }
+  return best->offset;
+}
+
+std::optional<double> Association::last_offset() const {
+  if (samples_.empty()) return std::nullopt;
+  return samples_.back().offset;
+}
+
+}  // namespace dnstime::ntp

@@ -1,0 +1,61 @@
+// Client-side association state for one NTP server, including the 8-bit
+// reachability shift register (RFC 5905 §9.2) whose draining is what the
+// run-time attack induces.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace dnstime::ntp {
+
+class Association {
+ public:
+  explicit Association(Ipv4Addr addr) : addr_(addr) {}
+
+  [[nodiscard]] Ipv4Addr addr() const { return addr_; }
+
+  /// Record a poll being sent: shifts the reachability register left.
+  void on_poll_sent();
+  /// Record a usable mode-4 response with the measured offset/delay.
+  void on_response(double offset, double delay, sim::Time now);
+  /// Record a Kiss-o'-Death from the server.
+  void on_kod(sim::Time now);
+
+  [[nodiscard]] bool reachable() const { return reach_ != 0; }
+  [[nodiscard]] u8 reach() const { return reach_; }
+  /// Polls sent since the last response.
+  [[nodiscard]] int unanswered_polls() const { return unanswered_; }
+  [[nodiscard]] u64 responses() const { return responses_; }
+  [[nodiscard]] bool got_kod() const { return kods_ > 0; }
+
+  /// Clock-filtered offset: the sample with minimum delay among the last 8
+  /// (RFC 5905 clock filter essence). Ties prefer the newest sample.
+  [[nodiscard]] std::optional<double> filtered_offset() const;
+
+  /// Drop accumulated samples. Clients call this after stepping the local
+  /// clock — pre-step samples are measured against a clock that no longer
+  /// exists (ntpd likewise clears its filter registers on a step).
+  void clear_samples() { samples_.clear(); }
+  [[nodiscard]] std::optional<double> last_offset() const;
+  [[nodiscard]] std::optional<sim::Time> last_response_at() const {
+    return last_response_;
+  }
+
+ private:
+  struct Sample {
+    double offset;
+    double delay;
+  };
+  Ipv4Addr addr_;
+  u8 reach_ = 0;
+  int unanswered_ = 0;
+  u64 responses_ = 0;
+  u64 kods_ = 0;
+  std::deque<Sample> samples_;
+  std::optional<sim::Time> last_response_;
+};
+
+}  // namespace dnstime::ntp

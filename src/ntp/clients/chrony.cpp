@@ -1,0 +1,118 @@
+#include "ntp/clients/chrony.h"
+
+#include "common/stats.h"
+
+namespace dnstime::ntp {
+
+ChronyClient::ChronyClient(net::NetStack& stack, SystemClock& clock,
+                           ClientBaseConfig base_config, ChronyConfig config)
+    : NtpClientBase(stack, clock, std::move(base_config)),
+      config_chrony_(config) {}
+
+void ChronyClient::start() {
+  refill_from_dns();
+  stack_.loop().schedule_after(sim::Duration::seconds(2),
+                               [this] { poll_round(); });
+}
+
+std::vector<Ipv4Addr> ChronyClient::current_servers() const {
+  std::vector<Ipv4Addr> out;
+  out.reserve(sources_.size());
+  for (const auto& s : sources_) out.push_back(s->addr());
+  return out;
+}
+
+void ChronyClient::refill_from_dns() {
+  if (refill_in_flight_) return;
+  refill_in_flight_ = true;
+  refills_++;
+  resolve(config_.pool_domains.front(),
+          [this](const std::vector<dns::ResourceRecord>& answers) {
+            refill_in_flight_ = false;
+            for (const auto& rr : answers) {
+              if (static_cast<int>(sources_.size()) >=
+                  config_chrony_.sources) {
+                break;
+              }
+              bool known = false;
+              for (const auto& s : sources_) {
+                if (s->addr() == rr.a) known = true;
+              }
+              if (!known && rr.a != stack_.addr()) {
+                sources_.push_back(std::make_unique<Association>(rr.a));
+              }
+            }
+          });
+}
+
+void ChronyClient::poll_round() {
+  auto outstanding = std::make_shared<int>(static_cast<int>(sources_.size()));
+  if (*outstanding == 0) refill_from_dns();
+  for (auto& source : sources_) {
+    source->on_poll_sent();
+    Association* s = source.get();
+    poll_server(s->addr(), [this, s, outstanding](const PollResult& r) {
+      if (r.kod) {
+        s->on_kod(stack_.now());
+      } else if (r.responded) {
+        s->on_response(r.offset, r.delay, stack_.now());
+      }
+      if (--*outstanding == 0) {
+        run_selection();
+        maintain_sources();
+      }
+    });
+  }
+  stack_.loop().schedule_after(config_.poll_interval,
+                               [this] { poll_round(); });
+}
+
+void ChronyClient::run_selection() {
+  std::vector<double> offsets;
+  for (const auto& s : sources_) {
+    if (!s->reachable()) continue;
+    auto off = s->filtered_offset();
+    if (off) offsets.push_back(*off);
+  }
+  if (offsets.empty()) return;
+  double combined = median(offsets);
+  double mag = combined < 0 ? -combined : combined;
+
+  auto stepped = [&](bool applied) {
+    if (applied && mag > config_.step_threshold) {
+      for (auto& s : sources_) s->clear_samples();
+    }
+    return applied;
+  };
+  if (booting_) {
+    // makestep-style initial correction.
+    if (stepped(discipline(combined, /*at_boot=*/true))) booting_ = false;
+    return;
+  }
+  if (mag > config_.step_threshold) {
+    if (++consecutive_large_ >= config_chrony_.rounds_before_step) {
+      if (stepped(discipline(combined, /*at_boot=*/false))) {
+        consecutive_large_ = 0;
+      }
+    }
+  } else {
+    consecutive_large_ = 0;
+    discipline(combined, /*at_boot=*/false);
+  }
+}
+
+void ChronyClient::maintain_sources() {
+  // chrony replaces dead sources one-by-one via DNS; every removal
+  // triggers a lookup rather than waiting for a low-water mark.
+  std::size_t before = sources_.size();
+  std::erase_if(sources_, [this](const std::unique_ptr<Association>& s) {
+    return s->unanswered_polls() >=
+           config_chrony_.demobilize_after_unanswered;
+  });
+  if (sources_.size() < before ||
+      static_cast<int>(sources_.size()) < config_chrony_.sources) {
+    refill_from_dns();
+  }
+}
+
+}  // namespace dnstime::ntp

@@ -1,0 +1,49 @@
+// chrony client model.
+//
+// Table I: vulnerable to boot-time and run-time attacks. Differences from
+// ntpd that matter here (§V): the default `pool` has 4 sources, a dead
+// source is replaced individually via a fresh DNS lookup (no MINCLOCK
+// batching), and chrony is more conservative about stepping at run-time —
+// the paper measured 57 minutes to shift chrony vs 17 for ntpd (P1).
+#pragma once
+
+#include <memory>
+
+#include "ntp/client_base.h"
+
+namespace dnstime::ntp {
+
+struct ChronyConfig {
+  int sources = 4;  ///< default pool maxsources
+  int demobilize_after_unanswered = 10;
+  int rounds_before_step = 5;
+};
+
+class ChronyClient : public NtpClientBase {
+ public:
+  ChronyClient(net::NetStack& stack, SystemClock& clock,
+               ClientBaseConfig base_config,
+               ChronyConfig config = ChronyConfig{});
+
+  void start() override;
+  [[nodiscard]] std::string name() const override { return "chrony"; }
+  [[nodiscard]] std::vector<Ipv4Addr> current_servers() const override;
+
+  [[nodiscard]] u64 dns_refills() const { return refills_; }
+  [[nodiscard]] std::size_t source_count() const { return sources_.size(); }
+
+ private:
+  void refill_from_dns();
+  void poll_round();
+  void run_selection();
+  void maintain_sources();
+
+  ChronyConfig config_chrony_;
+  std::vector<std::unique_ptr<Association>> sources_;
+  bool booting_ = true;
+  bool refill_in_flight_ = false;
+  int consecutive_large_ = 0;
+  u64 refills_ = 0;
+};
+
+}  // namespace dnstime::ntp

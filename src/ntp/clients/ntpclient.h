@@ -1,0 +1,54 @@
+// ntpclient model: minimal long-running SNTP client.
+//
+// Table I: boot-time only. Resolves its single server name once at start
+// and never again; if the server dies, synchronisation silently stops
+// (§V-A2).
+#pragma once
+
+#include "ntp/client_base.h"
+
+namespace dnstime::ntp {
+
+class NtpclientClient : public NtpClientBase {
+ public:
+  NtpclientClient(net::NetStack& stack, SystemClock& clock,
+                  ClientBaseConfig base_config);
+
+  void start() override;
+  [[nodiscard]] std::string name() const override { return "ntpclient"; }
+  [[nodiscard]] std::vector<Ipv4Addr> current_servers() const override {
+    if (!server_) return {};
+    return {*server_};
+  }
+
+ private:
+  void poll_loop();
+
+  std::optional<Ipv4Addr> server_;
+  bool first_sync_done_ = false;
+};
+
+/// Android SNTP client model (NtpTrustedTime): resolves the configured
+/// hostname on *every* synchronisation — "since the built-in NTP client is
+/// always invoked by hostname, DNS lookups must be triggered every NTP
+/// query if not answered from a local DNS cache" (§V-A2). Both boot-time
+/// and run-time attacks apply.
+class AndroidSntpClient : public NtpClientBase {
+ public:
+  AndroidSntpClient(net::NetStack& stack, SystemClock& clock,
+                    ClientBaseConfig base_config);
+
+  void start() override;
+  [[nodiscard]] std::string name() const override { return "android-sntp"; }
+  [[nodiscard]] std::vector<Ipv4Addr> current_servers() const override {
+    if (!last_server_) return {};
+    return {*last_server_};
+  }
+
+ private:
+  void sync_once();
+
+  std::optional<Ipv4Addr> last_server_;
+};
+
+}  // namespace dnstime::ntp

@@ -1,0 +1,144 @@
+#include "ntp/clients/ntpd.h"
+
+#include "common/stats.h"
+
+namespace dnstime::ntp {
+
+NtpdClient::NtpdClient(net::NetStack& stack, SystemClock& clock,
+                       ClientBaseConfig base_config, NtpdConfig config)
+    : NtpClientBase(stack, clock, std::move(base_config)),
+      config_ntpd_(config) {}
+
+void NtpdClient::start() {
+  refill_from_dns();
+  // iburst-style quick start, then the regular poll cadence.
+  stack_.loop().schedule_after(sim::Duration::seconds(2),
+                               [this] { poll_round(); });
+}
+
+std::vector<Ipv4Addr> NtpdClient::current_servers() const {
+  std::vector<Ipv4Addr> out;
+  out.reserve(assocs_.size());
+  for (const auto& a : assocs_) out.push_back(a->addr());
+  return out;
+}
+
+void NtpdClient::refill_from_dns() {
+  if (refill_in_flight_) return;
+  refill_in_flight_ = true;
+  refills_++;
+  resolve(config_.pool_domains.front(),
+          [this](const std::vector<dns::ResourceRecord>& answers) {
+            refill_in_flight_ = false;
+            for (const auto& rr : answers) {
+              if (static_cast<int>(assocs_.size()) >=
+                  config_ntpd_.max_servers) {
+                break;
+              }
+              bool known = false;
+              for (const auto& a : assocs_) {
+                if (a->addr() == rr.a) known = true;
+              }
+              if (!known && rr.a != stack_.addr()) {
+                assocs_.push_back(std::make_unique<Association>(rr.a));
+              }
+            }
+          });
+}
+
+void NtpdClient::poll_round() {
+  auto outstanding = std::make_shared<int>(static_cast<int>(assocs_.size()));
+  if (*outstanding == 0) {
+    // No associations at all (e.g. DNS failed at boot): retry DNS.
+    refill_from_dns();
+  }
+  for (auto& assoc : assocs_) {
+    assoc->on_poll_sent();
+    Association* a = assoc.get();
+    poll_server(a->addr(), [this, a, outstanding](const PollResult& r) {
+      if (r.kod) {
+        a->on_kod(stack_.now());
+      } else if (r.responded) {
+        a->on_response(r.offset, r.delay, stack_.now());
+      }
+      if (--*outstanding == 0) {
+        run_selection();
+        maintain_associations();
+      }
+    });
+  }
+  stack_.loop().schedule_after(config_.poll_interval,
+                               [this] { poll_round(); });
+}
+
+void NtpdClient::run_selection() {
+  std::vector<double> offsets;
+  for (const auto& a : assocs_) {
+    if (!a->reachable()) continue;
+    auto off = a->filtered_offset();
+    if (off) offsets.push_back(*off);
+  }
+  if (offsets.empty()) return;
+  double combined = median(offsets);
+
+  // System peer: the reachable association closest to the combined offset
+  // (exposed via the co-located server's refid).
+  Association* peer = nullptr;
+  double best = 1e18;
+  for (const auto& a : assocs_) {
+    if (!a->reachable()) continue;
+    auto off = a->filtered_offset();
+    if (!off) continue;
+    double dist = *off > combined ? *off - combined : combined - *off;
+    if (dist < best) {
+      best = dist;
+      peer = a.get();
+    }
+  }
+  if (peer) {
+    system_peer_ = peer->addr();
+    if (attached_server_) attached_server_->set_upstream(system_peer_);
+  }
+
+  double mag = combined < 0 ? -combined : combined;
+  auto stepped = [&](bool applied) {
+    // After a step the pre-step filter samples are meaningless; clear
+    // them, as ntpd clears its filter registers.
+    if (applied && mag > config_.step_threshold) {
+      for (auto& a : assocs_) a->clear_samples();
+    }
+    return applied;
+  };
+  if (booting_) {
+    if (stepped(discipline(combined, /*at_boot=*/true))) booting_ = false;
+    return;
+  }
+  if (mag > config_.step_threshold) {
+    // Steps require the offset to persist across rounds — ntpd waits for
+    // the clock filter and stepout interval before trusting a large shift.
+    if (++consecutive_large_ >= config_ntpd_.rounds_before_step) {
+      if (stepped(discipline(combined, /*at_boot=*/false))) {
+        consecutive_large_ = 0;
+      }
+    }
+  } else {
+    consecutive_large_ = 0;
+    discipline(combined, /*at_boot=*/false);
+  }
+}
+
+void NtpdClient::maintain_associations() {
+  std::erase_if(assocs_, [this](const std::unique_ptr<Association>& a) {
+    return a->unanswered_polls() >= config_ntpd_.demobilize_after_unanswered;
+  });
+  // The pool directive keeps mobilising associations until NTP_MAXCLOCK;
+  // run-time *replacement* lookups additionally trigger when the count
+  // falls below NTP_MINCLOCK. Queries are usually answered from the
+  // resolver's cache (TTL 150 s), so this stays cheap.
+  if (static_cast<int>(assocs_.size()) < config_ntpd_.min_clock ||
+      static_cast<int>(assocs_.size()) < config_ntpd_.max_servers) {
+    refill_from_dns();
+  }
+}
+
+}  // namespace dnstime::ntp

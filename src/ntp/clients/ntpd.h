@@ -1,0 +1,69 @@
+// ntpd client model (reference NTP implementation).
+//
+// Behaviours reproduced from §V-B3 of the paper:
+//  * `pool` directive: DNS lookups mobilise server associations;
+//  * NTP_MAXCLOCK = 10 with 4 persistent pool slots => m = 6 usable server
+//    associations in the default configuration;
+//  * NTP_MINCLOCK = 3: new DNS lookups happen at run-time only when the
+//    number of live associations drops below 3 — the attacker must
+//    demobilise n = m - 2 = 4 servers to trigger a query;
+//  * associations are demobilised after the reachability register drains
+//    (8 unanswered polls);
+//  * selection = median over clock-filtered offsets of reachable peers, a
+//    step requires the offset to persist several rounds (models ntpd's
+//    multi-minute convergence in Table II);
+//  * when also acting as a server (default), the current system peer is
+//    exposed as the refid — the §IV-B2b address leak.
+#pragma once
+
+#include <memory>
+
+#include "ntp/client_base.h"
+#include "ntp/server.h"
+
+namespace dnstime::ntp {
+
+struct NtpdConfig {
+  int min_clock = 3;    ///< NTP_MINCLOCK
+  int max_servers = 6;  ///< NTP_MAXCLOCK minus pool slots
+  int demobilize_after_unanswered = 8;
+  int rounds_before_step = 3;
+};
+
+class NtpdClient : public NtpClientBase {
+ public:
+  NtpdClient(net::NetStack& stack, SystemClock& clock,
+             ClientBaseConfig base_config, NtpdConfig config = NtpdConfig{});
+
+  void start() override;
+  [[nodiscard]] std::string name() const override { return "ntpd"; }
+  [[nodiscard]] std::vector<Ipv4Addr> current_servers() const override;
+
+  /// Attach the co-located NTP server so selection updates its refid
+  /// (ntpd is client and server in one process by default).
+  void attach_server(NtpServer* server) { attached_server_ = server; }
+
+  [[nodiscard]] Ipv4Addr system_peer() const { return system_peer_; }
+  [[nodiscard]] u64 dns_refills() const { return refills_; }
+  [[nodiscard]] std::size_t association_count() const {
+    return assocs_.size();
+  }
+  [[nodiscard]] const NtpdConfig& ntpd_config() const { return config_ntpd_; }
+
+ private:
+  void refill_from_dns();
+  void poll_round();
+  void run_selection();
+  void maintain_associations();
+
+  NtpdConfig config_ntpd_;
+  std::vector<std::unique_ptr<Association>> assocs_;
+  NtpServer* attached_server_ = nullptr;
+  Ipv4Addr system_peer_;
+  bool booting_ = true;
+  bool refill_in_flight_ = false;
+  int consecutive_large_ = 0;
+  u64 refills_ = 0;
+};
+
+}  // namespace dnstime::ntp

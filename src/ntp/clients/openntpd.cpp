@@ -1,0 +1,93 @@
+#include "ntp/clients/openntpd.h"
+
+#include "common/stats.h"
+
+namespace dnstime::ntp {
+
+OpenntpdClient::OpenntpdClient(net::NetStack& stack, SystemClock& clock,
+                               ClientBaseConfig base_config,
+                               OpenntpdConfig config)
+    : NtpClientBase(stack, clock, std::move(base_config)),
+      config_ontpd_(config) {}
+
+void OpenntpdClient::start() {
+  // The single DNS lookup of this implementation's lifetime.
+  resolve(config_.pool_domains.front(),
+          [this](const std::vector<dns::ResourceRecord>& answers) {
+            for (const auto& rr : answers) {
+              if (static_cast<int>(peers_.size()) >=
+                  config_ontpd_.servers_from_dns) {
+                break;
+              }
+              peers_.push_back(std::make_unique<Association>(rr.a));
+            }
+          });
+  if (!poll_loop_running_) {
+    poll_loop_running_ = true;
+    stack_.loop().schedule_after(sim::Duration::seconds(2),
+                                 [this] { poll_round(); });
+  }
+}
+
+void OpenntpdClient::restart() {
+  peers_.clear();
+  booting_ = true;
+  start();
+}
+
+std::vector<Ipv4Addr> OpenntpdClient::current_servers() const {
+  std::vector<Ipv4Addr> out;
+  out.reserve(peers_.size());
+  for (const auto& p : peers_) out.push_back(p->addr());
+  return out;
+}
+
+void OpenntpdClient::poll_round() {
+  auto outstanding = std::make_shared<int>(static_cast<int>(peers_.size()));
+  for (auto& peer : peers_) {
+    peer->on_poll_sent();
+    Association* p = peer.get();
+    poll_server(p->addr(), [this, p, outstanding](const PollResult& r) {
+      if (r.kod) {
+        p->on_kod(stack_.now());
+      } else if (r.responded) {
+        p->on_response(r.offset, r.delay, stack_.now());
+      }
+      if (--*outstanding == 0) run_selection();
+    });
+  }
+  // NB: dead peers are never replaced — no DNS at run-time.
+  stack_.loop().schedule_after(config_.poll_interval,
+                               [this] { poll_round(); });
+}
+
+void OpenntpdClient::run_selection() {
+  std::vector<double> offsets;
+  for (const auto& p : peers_) {
+    if (!p->reachable()) continue;
+    auto off = p->filtered_offset();
+    if (off) offsets.push_back(*off);
+  }
+  if (offsets.empty()) return;
+  double combined = median(offsets);
+
+  if (config_ontpd_.constraint_window >= 0) {
+    // HTTPS Date-header constraint: |proposed clock - true time| must stay
+    // within the window. clock.offset() + combined is the post-adjustment
+    // offset from true time.
+    double post = clock_.offset() + combined;
+    if (post > config_ontpd_.constraint_window ||
+        post < -config_ontpd_.constraint_window) {
+      return;  // constraint rejects the shift
+    }
+  }
+  double mag = combined < 0 ? -combined : combined;
+  if (discipline(combined, booting_)) {
+    booting_ = false;
+    if (mag > config_.step_threshold) {
+      for (auto& p : peers_) p->clear_samples();
+    }
+  }
+}
+
+}  // namespace dnstime::ntp

@@ -1,0 +1,51 @@
+// openntpd client model.
+//
+// Table I: boot-time vulnerable only. §V-A2: "openntpd and ntpclient do
+// not support DNS queries during run-time at all, so hindering
+// communication with the used servers will just disable time
+// synchronisation until the client is restarted." The optional HTTPS
+// date-header constraint (§V-A1) is modelled as a sanity bound on accepted
+// offsets; it is off by default, as in the real client.
+#pragma once
+
+#include <memory>
+
+#include "ntp/client_base.h"
+
+namespace dnstime::ntp {
+
+struct OpenntpdConfig {
+  int servers_from_dns = 4;
+  /// If >= 0: the TLS "constraint" — reject offsets larger than this many
+  /// seconds from the HTTPS-derived reference (we treat true time as the
+  /// reference). -1 disables, the default configuration.
+  double constraint_window = -1.0;
+};
+
+class OpenntpdClient : public NtpClientBase {
+ public:
+  OpenntpdClient(net::NetStack& stack, SystemClock& clock,
+                 ClientBaseConfig base_config,
+                 OpenntpdConfig config = OpenntpdConfig{});
+
+  void start() override;
+  [[nodiscard]] std::string name() const override { return "openntpd"; }
+  [[nodiscard]] std::vector<Ipv4Addr> current_servers() const override;
+
+  /// Simulated process restart: exactly what cron/watchdog/reboot does;
+  /// re-runs the boot-time DNS lookup (the only lookup openntpd makes).
+  void restart();
+
+  [[nodiscard]] bool synchronised() const { return !booting_; }
+
+ private:
+  void poll_round();
+  void run_selection();
+
+  OpenntpdConfig config_ontpd_;
+  std::vector<std::unique_ptr<Association>> peers_;
+  bool booting_ = true;
+  bool poll_loop_running_ = false;
+};
+
+}  // namespace dnstime::ntp

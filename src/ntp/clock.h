@@ -1,0 +1,79 @@
+// Per-host system clock.
+//
+// wall = kSimEpochNtpSeconds + simulated-elapsed + offset. The offset is
+// what NTP discipline adjusts and what a time-shifting attack corrupts;
+// attack success in the Table II experiments is "victim clock offset
+// reaches the attacker's shift".
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "ntp/timestamps.h"
+#include "sim/time.h"
+
+namespace dnstime::ntp {
+
+class SystemClock {
+ public:
+  explicit SystemClock(double initial_offset_seconds = 0.0)
+      : offset_(initial_offset_seconds) {}
+
+  /// Current wall-clock reading (NTP-era seconds) at simulation time `now`.
+  [[nodiscard]] double wall_seconds(sim::Time now) const {
+    return kSimEpochNtpSeconds + now.to_seconds() + offset_;
+  }
+
+  /// Offset from true time (seconds). 0 = perfectly synchronised.
+  [[nodiscard]] double offset() const { return offset_; }
+
+  /// Step the clock by `delta` seconds (positive = forward).
+  void step(double delta, sim::Time now) {
+    offset_ += delta;
+    steps_.push_back({now, delta});
+  }
+
+  /// Gradual adjustment; the simulator applies it instantly but records it
+  /// separately so tests can distinguish slew from step.
+  void slew(double delta, sim::Time now) {
+    offset_ += delta;
+    slews_.push_back({now, delta});
+  }
+
+  struct Adjustment {
+    sim::Time at;
+    double delta;
+  };
+  [[nodiscard]] const std::vector<Adjustment>& steps() const { return steps_; }
+  [[nodiscard]] const std::vector<Adjustment>& slews() const { return slews_; }
+
+  /// First moment the clock's offset moved past `threshold` seconds away
+  /// from zero — the "attack succeeded at" timestamp for Table II.
+  [[nodiscard]] std::optional<sim::Time> first_shift_beyond(
+      double threshold) const {
+    double running = 0.0;
+    for (const auto& adj : merged()) {
+      running += adj.delta;
+      if (running < -threshold || running > threshold) return adj.at;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  [[nodiscard]] std::vector<Adjustment> merged() const {
+    std::vector<Adjustment> all = steps_;
+    all.insert(all.end(), slews_.begin(), slews_.end());
+    std::sort(all.begin(), all.end(),
+              [](const Adjustment& a, const Adjustment& b) {
+                return a.at < b.at;
+              });
+    return all;
+  }
+
+  double offset_;
+  std::vector<Adjustment> steps_;
+  std::vector<Adjustment> slews_;
+};
+
+}  // namespace dnstime::ntp

@@ -1,0 +1,35 @@
+// NTP timestamp representation (RFC 5905 §6: 64-bit, 32.32 fixed point,
+// seconds since 1900-01-01).
+//
+// Internally the library carries wall-clock time as double seconds in the
+// NTP era; the codec converts to/from the wire fixed-point form. Sub-
+// nanosecond truncation is irrelevant at the attack's -500 s scale.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace dnstime::ntp {
+
+/// Simulation wall-clock base: an arbitrary NTP-era timestamp standing in
+/// for "now" at simulation start (2020-01-01 ≈ 3786825600 NTP seconds).
+inline constexpr double kSimEpochNtpSeconds = 3786825600.0;
+
+/// Convert wall seconds (NTP era, double) to the 64-bit wire form.
+[[nodiscard]] inline u64 to_wire_timestamp(double wall_seconds) {
+  if (wall_seconds <= 0) return 0;
+  double integral = 0;
+  double frac = std::modf(wall_seconds, &integral);
+  return (static_cast<u64>(integral) << 32) |
+         static_cast<u64>(frac * 4294967296.0);
+}
+
+/// Convert the 64-bit wire form back to wall seconds.
+[[nodiscard]] inline double from_wire_timestamp(u64 wire) {
+  return static_cast<double>(wire >> 32) +
+         static_cast<double>(wire & 0xFFFFFFFFull) / 4294967296.0;
+}
+
+}  // namespace dnstime::ntp

@@ -1,0 +1,152 @@
+#include "scenario/world.h"
+
+namespace dnstime::scenario {
+
+namespace {
+const dns::DnsName kPoolName = dns::DnsName::from_string("pool.ntp.org");
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      loop_(),
+      net_(loop_, rng_.fork()) {
+  net_.set_default_profile(
+      sim::LinkProfile{.latency = config_.link_latency});
+
+  // Pool NTP servers: 10.10.x.y.
+  std::vector<Ipv4Addr> pool_addrs;
+  for (std::size_t i = 0; i < config_.pool_size; ++i) {
+    auto ps = std::make_unique<PoolServer>();
+    Ipv4Addr addr{static_cast<u32>(0x0A0A0000 + i + 1)};
+    ps->stack = std::make_unique<net::NetStack>(net_, addr,
+                                                net::StackConfig{},
+                                                rng_.fork());
+    ps->clock = std::make_unique<ntp::SystemClock>(0.0);
+    ntp::ServerConfig sc;
+    bool limits = rng_.chance(config_.rate_limit_fraction);
+    sc.rate_limit.enabled = limits;
+    sc.rate_limit.send_kod = limits && rng_.chance(config_.kod_fraction);
+    sc.open_config_interface = rng_.chance(config_.open_config_fraction);
+    sc.configured_hostname = "pool.ntp.org";
+    ps->server = std::make_unique<ntp::NtpServer>(*ps->stack, *ps->clock, sc);
+    pool_addrs.push_back(addr);
+    pool_servers_.push_back(std::move(ps));
+  }
+
+  // pool.ntp.org authoritative nameserver at 198.51.100.53.
+  ns_stack_ = std::make_unique<net::NetStack>(
+      net_, Ipv4Addr{198, 51, 100, 53}, config_.ns_stack, rng_.fork());
+  nameserver_ = std::make_unique<dns::Nameserver>(*ns_stack_);
+  dns::PoolZone::Config pz;
+  pz.pad_txt_bytes = config_.pool_response_pad;
+  pz.nameservers = {
+      {dns::DnsName::from_string("ns1.ntp.org"), ns_stack_->addr()},
+      {dns::DnsName::from_string("ns2.ntp.org"), ns_stack_->addr()},
+      {dns::DnsName::from_string("ns3.ntp.org"), ns_stack_->addr()},
+  };
+  pool_zone_ = std::make_shared<dns::PoolZone>(kPoolName, pool_addrs, pz);
+  nameserver_->add_zone(pool_zone_);
+
+  // Victim recursive resolver at 10.53.0.1.
+  resolver_stack_ = std::make_unique<net::NetStack>(
+      net_, Ipv4Addr{10, 53, 0, 1}, config_.resolver_stack, rng_.fork());
+  resolver_ = std::make_unique<dns::Resolver>(*resolver_stack_,
+                                              config_.resolver);
+  resolver_->add_zone_hint(dns::DnsName::from_string("ntp.org"),
+                           {ns_stack_->addr()});
+
+  // Attacker: host 6.6.6.6, nameserver 6.6.6.53, NTP servers 6.6.7.x.
+  attacker_stack_ = std::make_unique<net::NetStack>(
+      net_, Ipv4Addr{6, 6, 6, 6}, net::StackConfig{}, rng_.fork());
+  attacker_ns_stack_ = std::make_unique<net::NetStack>(
+      net_, Ipv4Addr{6, 6, 6, 53}, net::StackConfig{}, rng_.fork());
+  attacker_nameserver_ = std::make_unique<dns::Nameserver>(*attacker_ns_stack_);
+  auto evil_zone = std::make_shared<dns::StaticZone>(kPoolName);
+  for (std::size_t i = 0; i < config_.attacker_ntp_count; ++i) {
+    auto ps = std::make_unique<PoolServer>();
+    Ipv4Addr addr{static_cast<u32>(0x06060700 + i + 1)};
+    ps->stack = std::make_unique<net::NetStack>(net_, addr,
+                                                net::StackConfig{},
+                                                rng_.fork());
+    ps->clock = std::make_unique<ntp::SystemClock>(0.0);
+    ntp::ServerConfig sc;
+    sc.time_shift = config_.attacker_time_shift;
+    // Attacker servers never rate-limit: the attacker wants every victim
+    // query answered.
+    ps->server = std::make_unique<ntp::NtpServer>(*ps->stack, *ps->clock, sc);
+    // Long TTL: keeps the poisoned answer pinned (>=24 h for Chronos).
+    evil_zone->add(dns::make_a(kPoolName, addr, 25 * 3600));
+    // Country/numbered subzones resolve to the same attacker servers.
+    evil_zone->add(dns::make_a(kPoolName.prepend("0"), addr, 25 * 3600));
+    attacker_ntp_.push_back(std::move(ps));
+  }
+  attacker_nameserver_->add_zone(std::move(evil_zone));
+}
+
+std::vector<Ipv4Addr> World::pool_server_addrs() const {
+  std::vector<Ipv4Addr> out;
+  out.reserve(pool_servers_.size());
+  for (const auto& ps : pool_servers_) out.push_back(ps->stack->addr());
+  return out;
+}
+
+std::vector<Ipv4Addr> World::attacker_ntp_addrs() const {
+  std::vector<Ipv4Addr> out;
+  out.reserve(attacker_ntp_.size());
+  for (const auto& ps : attacker_ntp_) out.push_back(ps->stack->addr());
+  return out;
+}
+
+attack::PoisonerConfig World::default_poisoner_config() const {
+  attack::PoisonerConfig pc;
+  pc.ns_addr = ns_stack_->addr();
+  pc.resolver_addr = resolver_stack_->addr();
+  pc.mtu = config_.attack_mtu;
+  // The spoofed fragment redirects the zone's glue to the attacker's
+  // nameserver; the nameserver then hands out the attacker's NTP fleet.
+  pc.malicious_addrs = {attacker_ns_stack_->addr()};
+  return pc;
+}
+
+World::Host& World::add_host(Ipv4Addr addr, net::StackConfig stack_config) {
+  auto host = std::make_unique<Host>();
+  host->stack =
+      std::make_unique<net::NetStack>(net_, addr, stack_config, rng_.fork());
+  hosts_.push_back(std::move(host));
+  return *hosts_.back();
+}
+
+bool World::is_attacker_ntp(Ipv4Addr addr) const {
+  for (const auto& ps : attacker_ntp_) {
+    if (ps->stack->addr() == addr) return true;
+  }
+  return false;
+}
+
+bool World::pool_a_poisoned() {
+  auto cached = resolver_->cache().lookup(kPoolName, dns::RrType::kA,
+                                          loop_.now());
+  if (!cached) return false;
+  for (const auto& rr : *cached) {
+    if (is_attacker_ntp(rr.a)) return true;
+  }
+  return false;
+}
+
+bool World::delegation_hijacked() {
+  // The delegation is hijacked when the cached glue for any pool NS name
+  // points at the attacker's nameserver.
+  for (const auto& label : {"ns1", "ns2", "ns3"}) {
+    auto glue = resolver_->cache().lookup(
+        dns::DnsName::from_string(std::string(label) + ".ntp.org"),
+        dns::RrType::kA, loop_.now());
+    if (!glue) continue;
+    for (const auto& rr : *glue) {
+      if (rr.a == attacker_ns_stack_->addr()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dnstime::scenario

@@ -1,0 +1,13 @@
+// EventLoop is header-only for inlining; this translation unit exists to
+// give the sim library an archive member and to host the static assert
+// sanity checks on the time types.
+#include "sim/event_loop.h"
+
+namespace dnstime::sim {
+
+static_assert(Duration::seconds(1).ns() == 1'000'000'000);
+static_assert(Duration::minutes(2) == Duration::seconds(120));
+static_assert(Time::from_ns(5) + Duration::nanos(3) == Time::from_ns(8));
+static_assert(Time::from_ns(5) - Time::from_ns(2) == Duration::nanos(3));
+
+}  // namespace dnstime::sim

@@ -1,0 +1,101 @@
+// Deterministic discrete-event loop.
+//
+// Events at equal timestamps are ordered by insertion sequence, so a
+// scenario replays identically for a fixed RNG seed regardless of container
+// iteration quirks. This determinism is what lets the Table II attack
+// durations be regression-tested.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dnstime::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+/// stays queued but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::shared_ptr<bool> c) : cancelled_(std::move(c)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventLoop {
+ public:
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (clamped to >= now).
+  EventHandle schedule_at(Time at, EventFn fn) {
+    if (at < now_) at = now_;
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{at, seq_++, std::move(fn), cancelled});
+    return EventHandle{cancelled};
+  }
+
+  EventHandle schedule_after(Duration d, EventFn fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Run events until the queue drains or `until` is reached. Events at
+  /// exactly `until` still run; the clock never advances past `until`.
+  void run_until(Time until) {
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.at > until) break;
+      Event ev = top;
+      queue_.pop();
+      now_ = ev.at;
+      if (!*ev.cancelled) ev.fn();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Drain every queued event (useful in unit tests of small exchanges).
+  void run_all() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      if (!*ev.cancelled) ev.fn();
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    u64 seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_;
+  u64 seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dnstime::sim

@@ -1,0 +1,24 @@
+#include "sim/network.h"
+
+namespace dnstime::sim {
+
+void Network::send(const net::Ipv4Packet& pkt) {
+  packets_sent_++;
+  const LinkProfile& link = profile_for(pkt.src, pkt.dst);
+  if (link.loss > 0.0 && rng_.chance(link.loss)) return;
+
+  Duration delay = link.latency;
+  if (link.jitter > Duration::millis(0)) {
+    delay = delay + Duration::nanos(static_cast<i64>(
+                        rng_.uniform(0, static_cast<u64>(link.jitter.ns()))));
+  }
+  // Copy the packet into the event; senders may mutate or free theirs.
+  loop_.schedule_after(delay, [this, pkt] {
+    auto it = sinks_.find(pkt.dst);
+    if (it == sinks_.end()) return;  // unreachable host: silent drop
+    packets_delivered_++;
+    it->second->deliver(pkt);
+  });
+}
+
+}  // namespace dnstime::sim

@@ -1,0 +1,87 @@
+// Simulated IPv4 internet.
+//
+// The Network connects NetStacks (one per simulated host) through links
+// with configurable one-way latency, jitter and loss. Delivery is by
+// destination address only — the network does not validate source
+// addresses, which is exactly the property that makes off-path spoofing
+// attacks (forged ICMP errors, spoofed NTP mode-3 floods, injected DNS
+// fragments) possible on the real Internet and in this simulator.
+//
+// Off-path threat model: an attacker host can *send* arbitrary raw packets
+// but only *receives* traffic addressed to one of its own addresses. There
+// is no promiscuous mode.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/ipv4.h"
+#include "sim/event_loop.h"
+
+namespace dnstime::sim {
+
+/// Per-destination-pair link characteristics.
+struct LinkProfile {
+  Duration latency = Duration::millis(10);
+  Duration jitter = Duration::millis(0);  ///< uniform extra delay in [0, jitter]
+  double loss = 0.0;                      ///< independent per-packet loss prob.
+};
+
+/// Receives packets addressed to a registered address. NetStack implements
+/// this; tests can register lightweight observers directly.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(const net::Ipv4Packet& pkt) = 0;
+};
+
+class Network {
+ public:
+  Network(EventLoop& loop, Rng rng) : loop_(loop), rng_(std::move(rng)) {}
+
+  void attach(Ipv4Addr addr, PacketSink* sink) { sinks_[addr] = sink; }
+  void detach(Ipv4Addr addr) { sinks_.erase(addr); }
+
+  /// Default characteristics for links without an explicit profile.
+  void set_default_profile(LinkProfile p) { default_profile_ = p; }
+  /// Override the path src->dst (directional).
+  void set_profile(Ipv4Addr src, Ipv4Addr dst, LinkProfile p) {
+    profiles_[key(src, dst)] = p;
+  }
+
+  /// Inject a packet into the network. `pkt.src` is taken at face value —
+  /// spoofing is permitted by design. Packets to unknown destinations are
+  /// silently dropped (like the real Internet, no ICMP host-unreachable is
+  /// guaranteed).
+  void send(const net::Ipv4Packet& pkt);
+
+  /// Total packets accepted into the network (pre-loss); used by tests and
+  /// by the attack-volume accounting in the benches.
+  [[nodiscard]] u64 packets_sent() const { return packets_sent_; }
+  [[nodiscard]] u64 packets_delivered() const { return packets_delivered_; }
+
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
+ private:
+  static u64 key(Ipv4Addr a, Ipv4Addr b) {
+    return (u64{a.value()} << 32) | b.value();
+  }
+  [[nodiscard]] const LinkProfile& profile_for(Ipv4Addr src,
+                                               Ipv4Addr dst) const {
+    auto it = profiles_.find(key(src, dst));
+    return it == profiles_.end() ? default_profile_ : it->second;
+  }
+
+  EventLoop& loop_;
+  Rng rng_;
+  LinkProfile default_profile_;
+  std::unordered_map<Ipv4Addr, PacketSink*> sinks_;
+  std::unordered_map<u64, LinkProfile> profiles_;
+  u64 packets_sent_ = 0;
+  u64 packets_delivered_ = 0;
+};
+
+}  // namespace dnstime::sim

@@ -1,0 +1,103 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol behaviour in this library is driven by simulated time, never
+// by the host clock: reassembly timeouts, DNS TTLs, NTP poll intervals and
+// the "attack duration" results of Table II are all measured on this clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace dnstime::sim {
+
+/// A span of virtual time, nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  [[nodiscard]] static constexpr Duration nanos(i64 n) { return Duration{n}; }
+  [[nodiscard]] static constexpr Duration micros(i64 n) {
+    return Duration{n * 1'000};
+  }
+  [[nodiscard]] static constexpr Duration millis(i64 n) {
+    return Duration{n * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(i64 n) {
+    return Duration{n * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr Duration minutes(i64 n) {
+    return seconds(n * 60);
+  }
+  [[nodiscard]] static constexpr Duration hours(i64 n) {
+    return minutes(n * 60);
+  }
+  [[nodiscard]] static constexpr Duration from_seconds_f(double s) {
+    return Duration{static_cast<i64>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr i64 ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+  [[nodiscard]] constexpr double to_millis() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, i64 k) {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr Duration operator/(Duration a, i64 k) {
+    return Duration{a.ns_ / k};
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(i64 ns) : ns_(ns) {}
+  i64 ns_ = 0;
+};
+
+/// An absolute point on the simulation clock (ns since simulation start).
+class Time {
+ public:
+  constexpr Time() = default;
+  [[nodiscard]] static constexpr Time from_ns(i64 ns) { return Time{ns}; }
+
+  [[nodiscard]] constexpr i64 ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  friend constexpr Time operator+(Time t, Duration d) {
+    return Time{t.ns_ + d.ns()};
+  }
+  friend constexpr Time operator-(Time t, Duration d) {
+    return Time{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(Time a, Time b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    i64 total_s = ns_ / 1'000'000'000;
+    i64 ms = (ns_ / 1'000'000) % 1000;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%lld.%03llds",
+                  static_cast<long long>(total_s), static_cast<long long>(ms));
+    return buf;
+  }
+
+ private:
+  constexpr explicit Time(i64 ns) : ns_(ns) {}
+  i64 ns_ = 0;
+};
+
+}  // namespace dnstime::sim

@@ -1,0 +1,57 @@
+#include "analysis/attack_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dnstime::analysis {
+namespace {
+
+using sim::Duration;
+
+TEST(AttackModel, FragmentsPerTtlWindowMatchesPaper) {
+  // "150/30 = 5 spoofed (second) fragments per attack."
+  EXPECT_EQ(fragments_per_ttl_window(), 5);
+  EXPECT_EQ(fragments_per_ttl_window(Duration::seconds(150),
+                                     Duration::seconds(60)),
+            3);
+  EXPECT_EQ(fragments_per_ttl_window(Duration::seconds(150),
+                                     Duration::seconds(120)),
+            2);
+}
+
+TEST(AttackModel, QuietCounterAlwaysHit) {
+  EXPECT_DOUBLE_EQ(spray_hit_probability(0.0, 25.0, 4), 1.0);
+}
+
+TEST(AttackModel, ZeroWidthNeverHits) {
+  EXPECT_DOUBLE_EQ(spray_hit_probability(5.0, 25.0, 0), 0.0);
+}
+
+TEST(AttackModel, HitProbabilityMonotoneInWidth) {
+  double prev = 0.0;
+  for (std::size_t w : {1u, 4u, 16u, 64u, 100u}) {
+    double p = spray_hit_probability(2.0, 25.0, w);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.9);  // 100-wide spray covers a 2/s counter over 25 s
+}
+
+TEST(AttackModel, HitProbabilityDecreasesWithRate) {
+  double prev = 1.1;
+  for (double rate : {0.5, 1.0, 2.0, 8.0}) {
+    double p = spray_hit_probability(rate, 25.0, 16);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(AttackModel, ExpectedWindowsGeometric) {
+  EXPECT_DOUBLE_EQ(expected_windows_until_success(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_windows_until_success(0.25), 4.0);
+  EXPECT_TRUE(std::isinf(expected_windows_until_success(0.0)));
+}
+
+}  // namespace
+}  // namespace dnstime::analysis

@@ -1,0 +1,69 @@
+#include "analysis/probability.h"
+
+#include <gtest/gtest.h>
+
+namespace dnstime::analysis {
+namespace {
+
+TEST(Probability, BinomialCoefficients) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(6, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(6, 3), 20.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(6, 6), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(6, 7), 0.0);
+}
+
+TEST(Probability, P1MatchesPaperRows) {
+  EXPECT_NEAR(p1(1), 0.380, 1e-3);
+  EXPECT_NEAR(p1(2), 0.144, 1e-3);
+  EXPECT_NEAR(p1(3), 0.055, 1e-3);
+  EXPECT_NEAR(p1(4), 0.021, 1e-3);
+}
+
+TEST(Probability, P2MatchesPaperRows) {
+  // Table III's P2 column for the paper's (m, n) pairs.
+  EXPECT_NEAR(p2(3, 2), 0.324, 1e-3);
+  EXPECT_NEAR(p2(4, 3), 0.157, 1e-3);
+  EXPECT_NEAR(p2(5, 3), 0.284, 1e-3);
+  EXPECT_NEAR(p2(6, 4), 0.153, 1e-3);
+  EXPECT_NEAR(p2(7, 5), 0.078, 1e-3);
+  EXPECT_NEAR(p2(9, 7), 0.018, 1e-3);
+}
+
+TEST(Probability, RequiredRemovalsMatchesTable) {
+  const int expected[] = {1, 2, 2, 3, 3, 4, 5, 6, 7};
+  for (int m = 1; m <= 9; ++m) {
+    EXPECT_EQ(required_removals(m), expected[m - 1]) << "m=" << m;
+  }
+}
+
+TEST(Probability, P2EqualsP1WhenAllMustBeRemoved) {
+  // "If n = m, this is the same as p^n."
+  for (int m = 1; m <= 6; ++m) {
+    EXPECT_NEAR(p2(m, m, 0.38), p1(m, 0.38), 1e-12);
+  }
+}
+
+TEST(Probability, P2DominatesP1) {
+  for (const auto& row : table_iii()) {
+    EXPECT_GE(row.p2, row.p1 - 1e-12) << "m=" << row.m;
+  }
+}
+
+TEST(Probability, MonteCarloAgreesWithClosedForm) {
+  Rng rng{5};
+  for (int m : {2, 4, 6, 9}) {
+    int n = required_removals(m);
+    double mc = monte_carlo_p2(m, n, 0.38, 200000, rng);
+    EXPECT_NEAR(mc, p2(m, n, 0.38), 0.01) << "m=" << m;
+  }
+}
+
+TEST(Probability, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(p2(5, 0, 0.38), 1.0);  // removing zero always "works"
+  EXPECT_DOUBLE_EQ(p1(0, 0.38), 1.0);
+  EXPECT_DOUBLE_EQ(p2(4, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p2(4, 2, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dnstime::analysis

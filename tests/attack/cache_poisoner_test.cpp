@@ -1,0 +1,150 @@
+// Full off-path poisoning pipeline against a live World: ICMP MTU
+// reduction -> template fetch -> IPID prediction -> fragment planting ->
+// victim-triggered query -> delegation hijack -> pool A served from the
+// attacker's nameserver.
+#include "attack/cache_poisoner.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/query_trigger.h"
+#include "scenario/world.h"
+
+namespace dnstime::attack {
+namespace {
+
+using scenario::World;
+using scenario::WorldConfig;
+using sim::Duration;
+
+TEST(CachePoisoner, ArmsAndPlantsFragments) {
+  World world;
+  CachePoisoner poisoner(world.attacker(), world.default_poisoner_config());
+  bool armed = false;
+  poisoner.start([&] { armed = true; });
+  world.run_for(Duration::seconds(30));
+  EXPECT_TRUE(armed);
+  EXPECT_TRUE(poisoner.crafted().has_value());
+  EXPECT_EQ(poisoner.crafted()->rewritten_records, 3u);
+  EXPECT_TRUE(poisoner.prediction().valid);
+  EXPECT_GT(poisoner.fragments_planted(), 0u);
+}
+
+TEST(CachePoisoner, PoisonsDelegationWhenQueryTriggered) {
+  World world;
+  CachePoisoner poisoner(world.attacker(), world.default_poisoner_config());
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+
+  // Trigger the victim resolver's upstream query (open-resolver path).
+  QueryTrigger::via_open_resolver(world.attacker(), world.resolver_addr(),
+                                  dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(10));
+  EXPECT_TRUE(world.delegation_hijacked());
+
+  // After the honest A record's 150 s TTL expires, the next query goes to
+  // the attacker's nameserver and caches attacker NTP addresses.
+  world.run_for(Duration::seconds(160));
+  QueryTrigger::via_open_resolver(world.attacker(), world.resolver_addr(),
+                                  dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(10));
+  EXPECT_TRUE(world.pool_a_poisoned());
+}
+
+TEST(CachePoisoner, VerifyProbeSeesPoisonedPoolRecord) {
+  World world;
+  auto pc = world.default_poisoner_config();
+  // Tell verification to look for the NTP fleet the attacker NS serves.
+  pc.malicious_addrs = {world.attacker_ns_addr()};
+  CachePoisoner poisoner(world.attacker(), pc);
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+  QueryTrigger::via_open_resolver(world.attacker(), world.resolver_addr(),
+                                  dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(170));
+  QueryTrigger::via_open_resolver(world.attacker(), world.resolver_addr(),
+                                  dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(10));
+
+  // RD=0 probe for the glue name must now return the attacker's NS addr.
+  bool checked = false, poisoned = false;
+  CachePoisoner probe(world.attacker(), pc);
+  probe.verify_poisoned(dns::DnsName::from_string("ns1.ntp.org"),
+                        [&](bool hit) {
+                          checked = true;
+                          poisoned = hit;
+                        });
+  world.run_for(Duration::seconds(5));
+  EXPECT_TRUE(checked);
+  EXPECT_TRUE(poisoned);
+}
+
+TEST(CachePoisoner, FailsAgainstFragmentRejectingResolver) {
+  WorldConfig cfg;
+  cfg.resolver_stack.accept_fragments = false;  // the 68% of Table V
+  World world(cfg);
+  CachePoisoner poisoner(world.attacker(), world.default_poisoner_config());
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+  QueryTrigger::via_open_resolver(world.attacker(), world.resolver_addr(),
+                                  dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(30));
+  // The resolver drops all fragments: neither the spoofed nor the genuine
+  // fragmented response lands, so nothing is poisoned.
+  EXPECT_FALSE(world.delegation_hijacked());
+  EXPECT_FALSE(world.pool_a_poisoned());
+}
+
+TEST(CachePoisoner, FailsAgainstPmtudIgnoringNameserver) {
+  WorldConfig cfg;
+  cfg.ns_stack.honor_icmp_frag_needed = false;  // the 14/30 of §VII-B
+  World world(cfg);
+  CachePoisoner poisoner(world.attacker(), world.default_poisoner_config());
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+  QueryTrigger::via_open_resolver(world.attacker(), world.resolver_addr(),
+                                  dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(30));
+  // The nameserver never fragments, so the genuine (whole) response wins
+  // and the planted fragments rot in the cache.
+  EXPECT_FALSE(world.delegation_hijacked());
+}
+
+TEST(CachePoisoner, FailsAgainstRandomizedIpid) {
+  WorldConfig cfg;
+  cfg.ns_stack.ipid_mode = net::IpidMode::kRandom;
+  World world(cfg);
+  auto pc = world.default_poisoner_config();
+  pc.spray_width = 16;
+  CachePoisoner poisoner(world.attacker(), pc);
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+  for (int i = 0; i < 5; ++i) {
+    QueryTrigger::via_open_resolver(
+        world.attacker(), world.resolver_addr(),
+        dns::DnsName::from_string("pool.ntp.org"));
+    world.run_for(Duration::seconds(160));
+  }
+  // 16/65536 per try, 5 tries: overwhelmingly likely to fail.
+  EXPECT_FALSE(world.delegation_hijacked());
+}
+
+TEST(CachePoisoner, SmtpTriggerPoisonsSharedResolver) {
+  // §VIII-B3: the query is triggered through an Email host that shares
+  // the victim resolver — the attacker never queries the resolver itself.
+  World world;
+  auto& mail_host = world.add_host(Ipv4Addr{10, 77, 0, 25});
+  SmtpServer smtp(*mail_host.stack, world.resolver_addr());
+
+  CachePoisoner poisoner(world.attacker(), world.default_poisoner_config());
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+
+  QueryTrigger::via_smtp(world.attacker(), mail_host.stack->addr(),
+                         dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(10));
+  EXPECT_EQ(smtp.mails_received(), 1u);
+  EXPECT_TRUE(world.delegation_hijacked());
+}
+
+}  // namespace
+}  // namespace dnstime::attack

@@ -1,0 +1,111 @@
+#include "attack/ratelimit_abuser.h"
+
+#include <gtest/gtest.h>
+
+#include "ntp/server.h"
+#include "scenario/world.h"
+
+namespace dnstime::attack {
+namespace {
+
+using scenario::World;
+using scenario::WorldConfig;
+using sim::Duration;
+
+const Ipv4Addr kVictim{10, 77, 0, 1};
+
+TEST(RateLimitAbuser, VictimBecomesLimitedAtTargetServer) {
+  World world;  // all pool servers rate-limit
+  RateLimitAbuser abuser(world.attacker(), kVictim);
+  Ipv4Addr target = world.pool_server_addrs()[0];
+  abuser.disrupt(target);
+  world.run_for(Duration::seconds(30));
+  EXPECT_TRUE(world.pool_server(0).rate_limiter().is_limited(
+      kVictim, world.loop().now()));
+  EXPECT_GT(abuser.packets_spoofed(), 10u);
+}
+
+TEST(RateLimitAbuser, VictimPollsGoUnanswered) {
+  World world;
+  RateLimitAbuser abuser(world.attacker(), kVictim);
+  Ipv4Addr target = world.pool_server_addrs()[0];
+  abuser.disrupt(target);
+  world.run_for(Duration::seconds(30));
+
+  // The victim's genuine poll from its real host address gets nothing.
+  auto& victim = world.add_host(kVictim);
+  bool answered = false;
+  u16 port = victim.stack->ephemeral_port();
+  victim.stack->bind_udp(port, [&](const net::UdpEndpoint&, u16,
+                                   const Bytes& payload) {
+    try {
+      if (!ntp::decode_ntp(payload).is_kod()) answered = true;
+    } catch (const DecodeError&) {
+    }
+  });
+  ntp::NtpPacket query;
+  query.mode = ntp::Mode::kClient;
+  query.tx_time = 5.0;
+  victim.stack->send_udp(target, port, kNtpPort, encode_ntp(query));
+  world.run_for(Duration::seconds(5));
+  EXPECT_FALSE(answered);
+}
+
+TEST(RateLimitAbuser, NonLimitingServerUnaffected) {
+  WorldConfig wc;
+  wc.rate_limit_fraction = 0.0;
+  World world(wc);
+  RateLimitAbuser abuser(world.attacker(), kVictim);
+  Ipv4Addr target = world.pool_server_addrs()[0];
+  abuser.disrupt(target);
+  world.run_for(Duration::seconds(30));
+
+  auto& victim = world.add_host(kVictim);
+  bool answered = false;
+  u16 port = victim.stack->ephemeral_port();
+  victim.stack->bind_udp(port, [&](const net::UdpEndpoint&, u16,
+                                   const Bytes&) { answered = true; });
+  ntp::NtpPacket query;
+  query.mode = ntp::Mode::kClient;
+  query.tx_time = 5.0;
+  victim.stack->send_udp(target, port, kNtpPort, encode_ntp(query));
+  world.run_for(Duration::seconds(5));
+  EXPECT_TRUE(answered) << "servers without rate limiting cannot be abused";
+}
+
+TEST(RateLimitAbuser, OtherClientsCollateralFree) {
+  // The flood punishes only the spoofed victim address; an unrelated
+  // client keeps getting answers.
+  World world;
+  RateLimitAbuser abuser(world.attacker(), kVictim);
+  Ipv4Addr target = world.pool_server_addrs()[0];
+  abuser.disrupt(target);
+  world.run_for(Duration::seconds(30));
+
+  auto& bystander = world.add_host(Ipv4Addr{10, 78, 0, 1});
+  bool answered = false;
+  u16 port = bystander.stack->ephemeral_port();
+  bystander.stack->bind_udp(port, [&](const net::UdpEndpoint&, u16,
+                                      const Bytes&) { answered = true; });
+  ntp::NtpPacket query;
+  query.mode = ntp::Mode::kClient;
+  query.tx_time = 5.0;
+  bystander.stack->send_udp(target, port, kNtpPort, encode_ntp(query));
+  world.run_for(Duration::seconds(5));
+  EXPECT_TRUE(answered);
+}
+
+TEST(RateLimitAbuser, StopCeasesFlooding) {
+  World world;
+  RateLimitAbuser abuser(world.attacker(), kVictim);
+  abuser.disrupt_all(world.pool_server_addrs());
+  world.run_for(Duration::seconds(10));
+  u64 sent = abuser.packets_spoofed();
+  abuser.stop();
+  world.run_for(Duration::seconds(10));
+  EXPECT_EQ(abuser.packets_spoofed(), sent);
+  EXPECT_EQ(abuser.active_targets(), 0u);
+}
+
+}  // namespace
+}  // namespace dnstime::attack

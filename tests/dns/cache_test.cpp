@@ -1,0 +1,94 @@
+#include "dns/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dnstime::dns {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+const DnsName kPool = DnsName::from_string("pool.ntp.org");
+
+TEST(DnsCache, InsertAndLookup) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA, {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 150)},
+               Time{});
+  auto hit = cache.lookup(kPool, RrType::kA, Time{});
+  ASSERT_TRUE(hit);
+  EXPECT_EQ((*hit)[0].a, (Ipv4Addr{1, 1, 1, 1}));
+}
+
+TEST(DnsCache, TtlCountsDown) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA, {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 150)},
+               Time{});
+  auto hit = cache.lookup(kPool, RrType::kA, Time{} + Duration::seconds(40));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ((*hit)[0].ttl, 110u);
+  EXPECT_EQ(cache.remaining_ttl(kPool, RrType::kA,
+                                Time{} + Duration::seconds(40)),
+            110u);
+}
+
+TEST(DnsCache, ExpiresAtTtl) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA, {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 150)},
+               Time{});
+  EXPECT_TRUE(cache.contains(kPool, RrType::kA,
+                             Time{} + Duration::seconds(149)));
+  EXPECT_FALSE(cache.contains(kPool, RrType::kA,
+                              Time{} + Duration::seconds(150)));
+}
+
+TEST(DnsCache, RrsetTtlIsMinimum) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA,
+               {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 150),
+                make_a(kPool, Ipv4Addr{2, 2, 2, 2}, 60)},
+               Time{});
+  EXPECT_FALSE(cache.contains(kPool, RrType::kA,
+                              Time{} + Duration::seconds(61)));
+}
+
+TEST(DnsCache, MaxTtlCapApplies) {
+  DnsCache cache;
+  // Attacker-style record with TTL > 24h, capped by resolver policy.
+  cache.insert(kPool, RrType::kA,
+               {make_a(kPool, Ipv4Addr{6, 6, 6, 6}, 90000)}, Time{},
+               /*max_ttl=*/3600);
+  EXPECT_TRUE(cache.contains(kPool, RrType::kA,
+                             Time{} + Duration::seconds(3599)));
+  EXPECT_FALSE(cache.contains(kPool, RrType::kA,
+                              Time{} + Duration::seconds(3600)));
+}
+
+TEST(DnsCache, TypesAreIndependent) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA, {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 150)},
+               Time{});
+  EXPECT_FALSE(cache.contains(kPool, RrType::kNs, Time{}));
+}
+
+TEST(DnsCache, ReplaceUpdatesExpiry) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA, {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 10)},
+               Time{});
+  cache.insert(kPool, RrType::kA,
+               {make_a(kPool, Ipv4Addr{6, 6, 6, 6}, 90000)}, Time{});
+  auto hit = cache.lookup(kPool, RrType::kA, Time{} + Duration::seconds(100));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ((*hit)[0].a, (Ipv4Addr{6, 6, 6, 6}));
+}
+
+TEST(DnsCache, EvictRemoves) {
+  DnsCache cache;
+  cache.insert(kPool, RrType::kA, {make_a(kPool, Ipv4Addr{1, 1, 1, 1}, 150)},
+               Time{});
+  cache.evict(kPool, RrType::kA);
+  EXPECT_FALSE(cache.contains(kPool, RrType::kA, Time{}));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnstime::dns

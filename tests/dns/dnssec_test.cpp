@@ -1,0 +1,127 @@
+// Structural DNSSEC behaviour: signed zones protect against record
+// tampering for validating resolvers, and only for them (§IX: <29% of
+// clients validate; only time.cloudflare.com among NTP domains is signed).
+#include <gtest/gtest.h>
+
+#include "dns/nameserver.h"
+#include "dns/resolver.h"
+
+namespace dnstime::dns {
+namespace {
+
+using sim::Duration;
+
+constexpr u64 kZoneSecret = 0x746C735F6B657921ull;
+
+struct SignedWorld {
+  sim::EventLoop loop;
+  sim::Network net{loop, Rng{21}};
+  net::NetStack ns_stack{net, Ipv4Addr{198, 51, 100, 1}, net::StackConfig{},
+                         Rng{22}};
+  net::NetStack res_stack{net, Ipv4Addr{10, 0, 0, 53}, net::StackConfig{},
+                          Rng{23}};
+  net::NetStack client_stack{net, Ipv4Addr{10, 0, 0, 7}, net::StackConfig{},
+                             Rng{24}};
+  Nameserver ns{ns_stack};
+  std::unique_ptr<Resolver> resolver;
+  std::unique_ptr<StubResolver> stub;
+
+  explicit SignedWorld(bool validating) {
+    Resolver::Config cfg;
+    cfg.validate_dnssec = validating;
+    cfg.trust_anchors["time.cloudflare.com"] = kZoneSecret;
+    resolver = std::make_unique<Resolver>(res_stack, cfg);
+    resolver->add_zone_hint(DnsName::from_string("time.cloudflare.com"),
+                            {ns_stack.addr()});
+    stub = std::make_unique<StubResolver>(client_stack, res_stack.addr());
+  }
+};
+
+std::shared_ptr<StaticZone> cloudflare_zone() {
+  auto zone = std::make_shared<StaticZone>(
+      DnsName::from_string("time.cloudflare.com"), /*dnssec_signed=*/true,
+      kZoneSecret);
+  zone->add(make_a(DnsName::from_string("time.cloudflare.com"),
+                   Ipv4Addr{162, 159, 200, 1}, 300));
+  return zone;
+}
+
+TEST(Dnssec, ValidatingResolverAcceptsGenuineSignedAnswer) {
+  SignedWorld w(/*validating=*/true);
+  w.ns.add_zone(cloudflare_zone());
+  std::vector<ResourceRecord> got;
+  w.stub->resolve(DnsName::from_string("time.cloudflare.com"), RrType::kA,
+                  [&](const std::vector<ResourceRecord>& a) { got = a; });
+  w.loop.run_for(Duration::seconds(5));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].a, (Ipv4Addr{162, 159, 200, 1}));
+  EXPECT_EQ(w.resolver->validation_failures(), 0u);
+}
+
+TEST(Dnssec, ValidatingResolverRejectsTamperedRrset) {
+  SignedWorld w(/*validating=*/true);
+  // Zone claims to be time.cloudflare.com but signs with the wrong key
+  // (models an off-path forgery: attacker cannot produce a valid RRSIG).
+  auto zone = std::make_shared<StaticZone>(
+      DnsName::from_string("time.cloudflare.com"), true, /*secret=*/999);
+  zone->add(make_a(DnsName::from_string("time.cloudflare.com"),
+                   Ipv4Addr{6, 6, 6, 6}, 300));
+  w.ns.add_zone(zone);
+  std::vector<ResourceRecord> got{make_a(DnsName{}, Ipv4Addr{}, 0)};
+  w.stub->resolve(DnsName::from_string("time.cloudflare.com"), RrType::kA,
+                  [&](const std::vector<ResourceRecord>& a) { got = a; });
+  w.loop.run_for(Duration::seconds(10));
+  EXPECT_TRUE(got.empty());  // SERVFAIL -> no answers
+  EXPECT_GT(w.resolver->validation_failures(), 0u);
+}
+
+TEST(Dnssec, ValidatingResolverRejectsMissingSignature) {
+  SignedWorld w(/*validating=*/true);
+  // Unsigned answer for a zone the resolver has a trust anchor for.
+  auto zone = std::make_shared<StaticZone>(
+      DnsName::from_string("time.cloudflare.com"), /*signed=*/false);
+  zone->add(make_a(DnsName::from_string("time.cloudflare.com"),
+                   Ipv4Addr{6, 6, 6, 6}, 300));
+  w.ns.add_zone(zone);
+  std::vector<ResourceRecord> got{make_a(DnsName{}, Ipv4Addr{}, 0)};
+  w.stub->resolve(DnsName::from_string("time.cloudflare.com"), RrType::kA,
+                  [&](const std::vector<ResourceRecord>& a) { got = a; });
+  w.loop.run_for(Duration::seconds(10));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Dnssec, NonValidatingResolverAcceptsForgery) {
+  SignedWorld w(/*validating=*/false);
+  auto zone = std::make_shared<StaticZone>(
+      DnsName::from_string("time.cloudflare.com"), true, /*secret=*/999);
+  zone->add(make_a(DnsName::from_string("time.cloudflare.com"),
+                   Ipv4Addr{6, 6, 6, 6}, 300));
+  w.ns.add_zone(zone);
+  std::vector<ResourceRecord> got;
+  w.stub->resolve(DnsName::from_string("time.cloudflare.com"), RrType::kA,
+                  [&](const std::vector<ResourceRecord>& a) { got = a; });
+  w.loop.run_for(Duration::seconds(5));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].a, (Ipv4Addr{6, 6, 6, 6}));  // forgery accepted
+}
+
+TEST(Dnssec, UnsignedZoneUnaffectedByValidation) {
+  // pool.ntp.org-style zone: no trust anchor, no signatures — a validating
+  // resolver must still accept it (this is why DNSSEC does not currently
+  // protect NTP: the domains are unsigned).
+  SignedWorld w(/*validating=*/true);
+  auto zone = std::make_shared<StaticZone>(DnsName::from_string("pool.ntp.org"));
+  zone->add(make_a(DnsName::from_string("pool.ntp.org"),
+                   Ipv4Addr{10, 1, 1, 1}, 150));
+  w.ns.add_zone(zone);
+  w.resolver->add_zone_hint(DnsName::from_string("pool.ntp.org"),
+                            {w.ns_stack.addr()});
+  std::vector<ResourceRecord> got;
+  w.stub->resolve(DnsName::from_string("pool.ntp.org"), RrType::kA,
+                  [&](const std::vector<ResourceRecord>& a) { got = a; });
+  w.loop.run_for(Duration::seconds(5));
+  EXPECT_EQ(got.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dnstime::dns

@@ -1,0 +1,81 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+namespace dnstime::dns {
+namespace {
+
+TEST(DnsName, ParseAndPrint) {
+  auto n = DnsName::from_string("pool.NTP.org");
+  EXPECT_EQ(n.to_string(), "pool.ntp.org");
+  EXPECT_EQ(n.label_count(), 3u);
+}
+
+TEST(DnsName, RootName) {
+  auto n = DnsName::from_string(".");
+  EXPECT_TRUE(n.empty());
+  EXPECT_EQ(n.to_string(), ".");
+}
+
+TEST(DnsName, SubdomainMatching) {
+  auto pool = DnsName::from_string("pool.ntp.org");
+  auto zero = DnsName::from_string("0.pool.ntp.org");
+  auto org = DnsName::from_string("org");
+  auto other = DnsName::from_string("pool.ntp.com");
+  EXPECT_TRUE(zero.is_subdomain_of(pool));
+  EXPECT_TRUE(pool.is_subdomain_of(pool));
+  EXPECT_TRUE(pool.is_subdomain_of(org));
+  EXPECT_FALSE(pool.is_subdomain_of(zero));
+  EXPECT_FALSE(other.is_subdomain_of(pool));
+}
+
+TEST(DnsName, Prepend) {
+  auto pool = DnsName::from_string("pool.ntp.org");
+  EXPECT_EQ(pool.prepend("de").to_string(), "de.pool.ntp.org");
+}
+
+TEST(DnsName, WireRoundTripUncompressed) {
+  ByteWriter w;
+  NameCompressor comp;
+  comp.write_name(w, DnsName::from_string("a.bc.def"));
+  Bytes wire = std::move(w).take();
+  // 1 'a' 2 'b' 'c' 3 'd' 'e' 'f' 0
+  ASSERT_EQ(wire.size(), 10u);
+  ByteReader r(wire);
+  EXPECT_EQ(read_name(r).to_string(), "a.bc.def");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(DnsName, CompressionPointsToEarlierName) {
+  ByteWriter w;
+  NameCompressor comp;
+  comp.write_name(w, DnsName::from_string("pool.ntp.org"));
+  std::size_t first_len = w.size();
+  comp.write_name(w, DnsName::from_string("0.pool.ntp.org"));
+  Bytes wire = std::move(w).take();
+  // Second name should be 1 label (2 bytes) + 2-byte pointer.
+  EXPECT_EQ(wire.size(), first_len + 4);
+
+  ByteReader r(wire);
+  EXPECT_EQ(read_name(r).to_string(), "pool.ntp.org");
+  EXPECT_EQ(read_name(r).to_string(), "0.pool.ntp.org");
+}
+
+TEST(DnsName, PointerLoopRejected) {
+  // A name that points at itself.
+  Bytes wire = {0xC0, 0x00};
+  ByteReader r(wire);
+  EXPECT_THROW((void)read_name(r), DecodeError);
+}
+
+TEST(DnsName, OverlongLabelRejected) {
+  Bytes wire;
+  wire.push_back(70);  // label length > 63 (and not a pointer tag)
+  for (int i = 0; i < 70; ++i) wire.push_back('a');
+  wire.push_back(0);
+  ByteReader r(wire);
+  EXPECT_THROW((void)read_name(r), DecodeError);
+}
+
+}  // namespace
+}  // namespace dnstime::dns

@@ -1,0 +1,58 @@
+#include "measure/ad_study.h"
+
+#include <gtest/gtest.h>
+
+namespace dnstime::measure {
+namespace {
+
+AdStudyResult small_study() {
+  AdStudyConfig cfg;
+  // Scale the regional populations down 8x for test speed.
+  cfg.population.region_counts = {
+      {Region::kAsia, 400},          {Region::kAfrica, 40},
+      {Region::kEurope, 175},        {Region::kNorthAmerica, 290},
+      {Region::kLatinAmerica, 105},
+  };
+  return run_ad_study(cfg);
+}
+
+TEST(AdStudy, FiltersInvalidClients) {
+  auto result = small_study();
+  EXPECT_GT(result.clients_total, 0u);
+  EXPECT_LT(result.clients_valid, result.clients_total);
+  EXPECT_GT(result.clients_valid, result.clients_total * 8 / 10);
+}
+
+TEST(AdStudy, FragmentAcceptanceMonotoneInSize) {
+  auto result = small_study();
+  // tiny <= small <= medium <= big acceptance (monotone threshold model).
+  EXPECT_LE(result.all.accepts_tiny, result.accepts_small);
+  EXPECT_LE(result.accepts_small, result.accepts_medium);
+  EXPECT_LE(result.accepts_medium, result.accepts_big);
+  EXPECT_LE(result.all.accepts_tiny, result.all.accepts_any);
+}
+
+TEST(AdStudy, GoogleClientsRejectTinyFragments) {
+  auto result = small_study();
+  // Removing Google raises tiny acceptance (Table V: 64% -> 68%).
+  EXPECT_GT(result.without_google.tiny_fraction(),
+            result.all.tiny_fraction());
+}
+
+TEST(AdStudy, DnssecValidationInPaperRange) {
+  auto result = small_study();
+  for (int r = 0; r < 5; ++r) {
+    double v = result.dnssec_validation_fraction(r);
+    EXPECT_GT(v, 0.10) << "region " << r;
+    EXPECT_LT(v, 0.40) << "region " << r;
+  }
+}
+
+TEST(AdStudy, MajorityAcceptsSomeFragmentSize) {
+  auto result = small_study();
+  EXPECT_GT(result.all.any_fraction(), 0.75);
+  EXPECT_LT(result.all.any_fraction(), 0.97);
+}
+
+}  // namespace
+}  // namespace dnstime::measure

@@ -1,0 +1,111 @@
+// Measurement-tool tests at reduced population sizes: the scans must
+// recover the planted population fractions through their black-box
+// methodologies.
+#include <gtest/gtest.h>
+
+#include "measure/cache_probe.h"
+#include "measure/frag_scanner.h"
+#include "measure/ratelimit_scanner.h"
+#include "measure/shared_resolver.h"
+#include "measure/timing_probe.h"
+
+namespace dnstime::measure {
+namespace {
+
+TEST(RateLimitScanner, RecoversPlantedFractions) {
+  RateLimitScanConfig cfg;
+  cfg.servers = 400;
+  auto result = scan_pool_rate_limiting(cfg);
+  EXPECT_EQ(result.servers, 400u);
+  // Within a few points of the planted 38% / 33% / 5.3%.
+  EXPECT_NEAR(result.rate_limit_fraction(), 0.38, 0.08);
+  EXPECT_NEAR(result.kod_fraction(), 0.33, 0.08);
+  EXPECT_NEAR(result.open_config_fraction(), 0.053, 0.04);
+  // The scan is a (slightly noisy) estimator of the truth.
+  EXPECT_NEAR(static_cast<double>(result.rate_limiting_servers),
+              static_cast<double>(result.truth_rate_limiting), 40.0);
+}
+
+TEST(RateLimitScanner, NoRateLimitingDetectedWhenAbsent) {
+  RateLimitScanConfig cfg;
+  cfg.servers = 100;
+  cfg.population.rate_limit_fraction = 0.0;
+  cfg.population.open_config_fraction = 0.0;
+  auto result = scan_pool_rate_limiting(cfg);
+  EXPECT_EQ(result.kod_servers, 0u);
+  EXPECT_EQ(result.rate_limiting_servers, 0u);
+  EXPECT_EQ(result.open_config_servers, 0u);
+}
+
+TEST(FragScanner, RecoversFragmentationCdf) {
+  FragScanConfig cfg;
+  cfg.domains = 1500;
+  auto result = scan_domain_fragmentation(cfg);
+  EXPECT_NEAR(result.vulnerable_fraction(), 0.0766, 0.025);
+  // Fig. 5 knees among the vulnerable.
+  EXPECT_NEAR(result.fraction_fragmenting_leq(548), 0.832, 0.12);
+  EXPECT_NEAR(result.fraction_fragmenting_leq(292), 0.0705, 0.06);
+  EXPECT_DOUBLE_EQ(result.fraction_fragmenting_leq(1500), 1.0);
+}
+
+TEST(FragScanner, PoolNameserversDeterministic) {
+  auto result = scan_pool_nameservers();
+  EXPECT_EQ(result.nameservers, 30u);
+  EXPECT_EQ(result.fragment_below_548, 16u);
+  EXPECT_EQ(result.dnssec, 0u);
+}
+
+TEST(CacheProbe, RecoversCachedFractions) {
+  CacheProbeConfig cfg;
+  cfg.resolvers = 800;
+  auto result = probe_open_resolvers(cfg);
+  EXPECT_GT(result.verified, 600u);  // ~90% pass RD verification
+  ASSERT_EQ(result.rows.size(), 6u);
+  EXPECT_NEAR(result.rows[0].cached_fraction(), 0.5828, 0.07);  // NS
+  EXPECT_NEAR(result.rows[1].cached_fraction(), 0.6941, 0.07);  // A
+  // Broken-RD resolvers never enter the statistics.
+  EXPECT_LT(result.verified, result.probed);
+}
+
+TEST(CacheProbe, TtlsRoughlyUniform) {
+  CacheProbeConfig cfg;
+  cfg.resolvers = 1500;
+  auto result = probe_open_resolvers(cfg);
+  ASSERT_GT(result.ttl_histogram.total(), 500u);
+  // All observed TTLs live in [0, 150); occupancy roughly even.
+  std::size_t in_range = 0;
+  std::size_t max_bin = 0, min_bin = SIZE_MAX;
+  for (std::size_t b = 0; b < result.ttl_histogram.bins(); ++b) {
+    if (result.ttl_histogram.bin_hi(b) <= 150.0) {
+      in_range += result.ttl_histogram.count(b);
+      max_bin = std::max(max_bin, result.ttl_histogram.count(b));
+      min_bin = std::min(min_bin, result.ttl_histogram.count(b));
+    }
+  }
+  EXPECT_EQ(in_range, result.ttl_histogram.total());
+  EXPECT_LT(max_bin, 3 * std::max<std::size_t>(min_bin, 1));
+}
+
+TEST(SharedResolver, RecoversTriggerableFractions) {
+  SharedResolverScanConfig cfg;
+  cfg.population.web_resolvers = 600;
+  auto result = discover_shared_resolvers(cfg);
+  EXPECT_EQ(result.web_resolvers, 600u);
+  EXPECT_NEAR(result.triggerable_fraction(), 0.138, 0.05);
+  EXPECT_GT(result.smtp_shared, result.open);  // SMTP path dominates
+}
+
+TEST(TimingProbe, NoUsableThreshold) {
+  TimingProbeConfig cfg;
+  cfg.resolvers = 800;
+  auto result = run_timing_probe(cfg);
+  EXPECT_GT(result.deltas.total(), 700u);
+  // The paper's negative result: classification is imperfect, far from
+  // clean separation...
+  EXPECT_LT(result.best_threshold_accuracy(), 0.99);
+  // ...but better than chance (there IS some signal, just unusable).
+  EXPECT_GT(result.best_threshold_accuracy(), 0.6);
+}
+
+}  // namespace
+}  // namespace dnstime::measure

@@ -1,0 +1,73 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dnstime::sim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  loop.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  loop.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_after(Duration::seconds(5), [&, i] { order.push_back(i); });
+  }
+  loop.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_after(Duration::seconds(1), [&] { ran++; });
+  loop.schedule_after(Duration::seconds(5), [&] { ran++; });
+  loop.run_until(Time::from_ns(Duration::seconds(2).ns()));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now().to_seconds(), 2.0);
+  loop.run_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoop, CancelledEventsDoNotRun) {
+  EventLoop loop;
+  bool ran = false;
+  auto h = loop.schedule_after(Duration::seconds(1), [&] { ran = true; });
+  h.cancel();
+  loop.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(Duration::seconds(1), recurse);
+  };
+  loop.schedule_after(Duration::seconds(1), recurse);
+  loop.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now().to_seconds(), 5.0);
+}
+
+TEST(EventLoop, PastScheduledEventClampsToNow) {
+  EventLoop loop;
+  loop.run_until(Time::from_ns(Duration::seconds(10).ns()));
+  bool ran = false;
+  loop.schedule_at(Time::from_ns(1), [&] { ran = true; });
+  loop.run_for(Duration::seconds(1));
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace dnstime::sim

@@ -1,0 +1,110 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace dnstime::sim {
+namespace {
+
+struct Capture : PacketSink {
+  std::vector<net::Ipv4Packet> packets;
+  void deliver(const net::Ipv4Packet& pkt) override { packets.push_back(pkt); }
+};
+
+net::Ipv4Packet make_packet(Ipv4Addr src, Ipv4Addr dst) {
+  net::Ipv4Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.payload = {1};
+  return pkt;
+}
+
+TEST(Network, DeliversToAttachedSink) {
+  EventLoop loop;
+  Network net{loop, Rng{1}};
+  Capture sink;
+  Ipv4Addr addr{10, 0, 0, 1};
+  net.attach(addr, &sink);
+  net.send(make_packet(Ipv4Addr{10, 0, 0, 2}, addr));
+  loop.run_all();
+  ASSERT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(Network, UnknownDestinationSilentlyDropped) {
+  EventLoop loop;
+  Network net{loop, Rng{1}};
+  net.send(make_packet(Ipv4Addr{1, 1, 1, 1}, Ipv4Addr{2, 2, 2, 2}));
+  loop.run_all();
+  EXPECT_EQ(net.packets_delivered(), 0u);
+  EXPECT_EQ(net.packets_sent(), 1u);
+}
+
+TEST(Network, LatencyDelaysDelivery) {
+  EventLoop loop;
+  Network net{loop, Rng{1}};
+  net.set_default_profile(LinkProfile{.latency = Duration::millis(25)});
+  Capture sink;
+  Ipv4Addr addr{10, 0, 0, 1};
+  net.attach(addr, &sink);
+  net.send(make_packet(Ipv4Addr{10, 0, 0, 2}, addr));
+  loop.run_until(Time::from_ns(Duration::millis(24).ns()));
+  EXPECT_TRUE(sink.packets.empty());
+  loop.run_until(Time::from_ns(Duration::millis(25).ns()));
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(Network, PerPathProfileOverridesDefault) {
+  EventLoop loop;
+  Network net{loop, Rng{1}};
+  net.set_default_profile(LinkProfile{.latency = Duration::millis(10)});
+  Ipv4Addr fast_src{1, 1, 1, 1}, dst{10, 0, 0, 1};
+  net.set_profile(fast_src, dst, LinkProfile{.latency = Duration::millis(1)});
+  Capture sink;
+  net.attach(dst, &sink);
+  net.send(make_packet(fast_src, dst));
+  loop.run_until(Time::from_ns(Duration::millis(1).ns()));
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(Network, FullLossDropsEverything) {
+  EventLoop loop;
+  Network net{loop, Rng{1}};
+  net.set_default_profile(LinkProfile{.loss = 1.0});
+  Capture sink;
+  Ipv4Addr addr{10, 0, 0, 1};
+  net.attach(addr, &sink);
+  for (int i = 0; i < 50; ++i) {
+    net.send(make_packet(Ipv4Addr{10, 0, 0, 2}, addr));
+  }
+  loop.run_all();
+  EXPECT_TRUE(sink.packets.empty());
+}
+
+TEST(Network, PartialLossDropsSome) {
+  EventLoop loop;
+  Network net{loop, Rng{42}};
+  net.set_default_profile(LinkProfile{.loss = 0.5});
+  Capture sink;
+  Ipv4Addr addr{10, 0, 0, 1};
+  net.attach(addr, &sink);
+  for (int i = 0; i < 400; ++i) {
+    net.send(make_packet(Ipv4Addr{10, 0, 0, 2}, addr));
+  }
+  loop.run_all();
+  EXPECT_GT(sink.packets.size(), 120u);
+  EXPECT_LT(sink.packets.size(), 280u);
+}
+
+TEST(Network, DetachStopsDelivery) {
+  EventLoop loop;
+  Network net{loop, Rng{1}};
+  Capture sink;
+  Ipv4Addr addr{10, 0, 0, 1};
+  net.attach(addr, &sink);
+  net.detach(addr);
+  net.send(make_packet(Ipv4Addr{10, 0, 0, 2}, addr));
+  loop.run_all();
+  EXPECT_TRUE(sink.packets.empty());
+}
+
+}  // namespace
+}  // namespace dnstime::sim
