@@ -1,136 +1,69 @@
-// Table II: run-time attack duration against different clients.
-//
-// Full off-path pipeline per scenario: fragmentation cache poisoning of
-// the victim resolver's delegation, then rate-limit abuse to remove the
-// victim's associations. The clock reports the moment it first carries
-// the attacker's shift; duration is measured from attack start, as in the
-// paper's lab runs.
+// Table II: run-time attack duration against different clients, executed
+// as a campaign — N independent seeded trials per client across a worker
+// pool, mean durations reported next to the paper's numbers.
 //
 // Absolute minutes depend on poll cadences (our clients poll at fixed
 // 64 s / chrony backs off to 192 s); the paper's ordering — NTPd(P1)
 // fastest, then NTPd(P2), chrony, openntpd (which must wait for a restart)
 // — is the reproduced shape.
+//
+// Usage: bench_table2_attack_duration [--trials N] [--threads T] [--seed S]
 #include <cstdio>
-#include <optional>
+#include <cstring>
 
-#include "attack/query_trigger.h"
-#include "attack/run_time_attack.h"
 #include "bench_util.h"
-#include "ntp/clients/chrony.h"
-#include "ntp/clients/ntpd.h"
-#include "ntp/clients/openntpd.h"
-#include "scenario/world.h"
-
-namespace {
+#include "campaign/cli.h"
+#include "campaign/runner.h"
 
 using namespace dnstime;
-using scenario::World;
-using scenario::WorldConfig;
-using sim::Duration;
 
-const Ipv4Addr kVictim{10, 77, 0, 1};
+int main(int argc, char** argv) {
+  campaign::CliOptions defaults;
+  defaults.config.trials = 1;  // the paper's lab ran each client once
+  campaign::CliOptions opts = campaign::parse_cli(argc, argv, defaults);
+  if (!opts.ok) return 2;
 
-void poison_via_fragments(World& world) {
-  static std::vector<std::shared_ptr<attack::CachePoisoner>> keepalive;
-  auto poisoner = std::make_shared<attack::CachePoisoner>(
-      world.attacker(), world.default_poisoner_config());
-  keepalive.push_back(poisoner);
-  poisoner->start();
-  world.run_for(Duration::seconds(20));
-  attack::QueryTrigger::via_open_resolver(
-      world.attacker(), world.resolver_addr(),
-      dns::DnsName::from_string("pool.ntp.org"));
-  world.run_for(Duration::seconds(10));
-}
-
-/// Returns attack duration in seconds, or nullopt on failure.
-std::optional<double> run_scenario(const std::string& label) {
-  World world;
-  auto& host = world.add_host(kVictim);
-  ntp::ClientBaseConfig cfg;
-  cfg.resolver = world.resolver_addr();
-
-  std::unique_ptr<ntp::NtpClientBase> client;
-  std::unique_ptr<ntp::NtpServer> victim_server;
-  if (label == "ntpd-p1" || label == "ntpd-p2") {
-    auto ntpd = std::make_unique<ntp::NtpdClient>(*host.stack, host.clock,
-                                                  cfg);
-    victim_server = std::make_unique<ntp::NtpServer>(*host.stack, host.clock,
-                                                     ntp::ServerConfig{});
-    ntpd->attach_server(victim_server.get());
-    client = std::move(ntpd);
-  } else if (label == "chrony") {
-    // chrony backs off its poll interval under persistent failure.
-    cfg.poll_interval = Duration::seconds(192);
-    client = std::make_unique<ntp::ChronyClient>(*host.stack, host.clock,
-                                                 cfg);
-  } else {
-    client = std::make_unique<ntp::OpenntpdClient>(*host.stack, host.clock,
-                                                   cfg);
-  }
-  client->start();
-  world.run_for(Duration::minutes(12));
-  if (host.clock.offset() < -1.0) return std::nullopt;  // must be honest
-
-  poison_via_fragments(world);
-
-  sim::Time attack_start = world.loop().now();
-  attack::RunTimeConfig rc;
-  rc.victim = kVictim;
-  rc.discovery = label == "ntpd-p2"
-                     ? attack::RunTimeConfig::Discovery::kRefidLeak
-                     : attack::RunTimeConfig::Discovery::kKnownList;
-  rc.known_servers = world.pool_server_addrs();
-  rc.deadline = Duration::hours(6);
-  attack::RunTimeAttack attack(world.attacker(), rc);
-  std::optional<attack::AttackOutcome> outcome;
-  attack.run([&] { return host.clock.offset() < -400.0; },
-             [&](const attack::AttackOutcome& o) { outcome = o; });
-
-  if (label == "openntpd") {
-    // openntpd never re-queries DNS: the attack starves it until the
-    // operator/watchdog restarts the daemon (we model a 60-minute stall
-    // watchdog), whose boot-time lookup then hits the poisoned cache.
-    auto* ontpd = static_cast<ntp::OpenntpdClient*>(client.get());
-    world.loop().schedule_after(Duration::minutes(60),
-                                [ontpd] { ontpd->restart(); });
-  }
-
-  world.run_for(Duration::hours(6) + Duration::minutes(5));
-  if (!outcome || !outcome->success) return std::nullopt;
-  return (outcome->at - attack_start).to_seconds();
-}
-
-}  // namespace
-
-int main() {
   bench::header("Table II - Run-time attack duration against clients");
+  campaign::CampaignRunner runner(opts.config);
+  auto scenarios = campaign::ScenarioRegistry::builtin().select("table2/");
+  campaign::CampaignReport report = runner.run(scenarios);
+
   struct Row {
-    const char* label;
+    const char* scenario;
     const char* display;
     const char* paper;
   };
   const Row rows[] = {
-      {"ntpd-p2", "NTPd     P2 (refid discovery)", "47 minutes"},
-      {"ntpd-p1", "NTPd     P1 (known server list)", "17 minutes"},
-      {"openntpd", "openntpd P1 (restart-assisted)", "84 minutes"},
-      {"chrony", "chrony   P1 (known server list)", "57 minutes"},
+      {"table2/ntpd-p2", "NTPd     P2 (refid discovery)", "47 minutes"},
+      {"table2/ntpd-p1", "NTPd     P1 (known server list)", "17 minutes"},
+      {"table2/openntpd", "openntpd P1 (restart-assisted)", "84 minutes"},
+      {"table2/chrony", "chrony   P1 (known server list)", "57 minutes"},
   };
   double p1_duration = 0, p2_duration = 0;
   for (const Row& r : rows) {
-    auto duration = run_scenario(r.label);
-    bench::row(r.display, r.paper,
-               duration ? bench::minutes(*duration) : "FAILED");
-    if (std::string(r.label) == "ntpd-p1" && duration) {
-      p1_duration = *duration;
+    const campaign::ScenarioAggregate* agg = nullptr;
+    for (const auto& s : report.scenarios) {
+      if (s.name == r.scenario) agg = &s;
     }
-    if (std::string(r.label) == "ntpd-p2" && duration) {
-      p2_duration = *duration;
+    if (agg == nullptr || agg->successes == 0) {
+      bench::row(r.display, r.paper, "FAILED");
+      continue;
+    }
+    bench::row(r.display, r.paper, bench::minutes(agg->duration_mean_s));
+    if (std::strcmp(r.scenario, "table2/ntpd-p1") == 0) {
+      p1_duration = agg->duration_mean_s;
+    } else if (std::strcmp(r.scenario, "table2/ntpd-p2") == 0) {
+      p2_duration = agg->duration_mean_s;
     }
   }
   std::printf(
       "\n  Shape check: P2 (one-upstream-at-a-time discovery) must take\n"
       "  longer than P1 (flood everything): P2/P1 = %.1fx (paper: 2.8x)\n",
       p1_duration > 0 ? p2_duration / p1_duration : 0.0);
+  std::printf(
+      "\n  campaign: seed=%llu, %u trial(s)/scenario; success rates and\n"
+      "  duration quantiles:\n\n%s",
+      static_cast<unsigned long long>(report.seed),
+      report.trials_per_scenario, report.to_table().c_str());
   return 0;
 }

@@ -1,0 +1,57 @@
+#include "campaign/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dnstime::campaign {
+namespace {
+
+void usage(const char* prog, bool scenario_flags) {
+  std::fprintf(stderr, "usage: %s [--trials N] [--threads T] [--seed S]%s\n",
+               prog, scenario_flags ? " [--filter PREFIX] [--json]" : "");
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
+                     bool scenario_flags) {
+  CliOptions opts = std::move(defaults);
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    if (scenario_flags && std::strcmp(flag, "--json") == 0) {
+      opts.json = true;
+      continue;
+    }
+    const bool takes_value =
+        std::strcmp(flag, "--trials") == 0 ||
+        std::strcmp(flag, "--threads") == 0 ||
+        std::strcmp(flag, "--seed") == 0 ||
+        (scenario_flags && std::strcmp(flag, "--filter") == 0);
+    if (!takes_value) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], flag);
+      usage(argv[0], scenario_flags);
+      opts.ok = false;
+      return opts;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: flag '%s' requires a value\n", argv[0], flag);
+      usage(argv[0], scenario_flags);
+      opts.ok = false;
+      return opts;
+    }
+    const char* value = argv[++i];
+    if (std::strcmp(flag, "--trials") == 0) {
+      opts.config.trials = static_cast<u32>(std::atoi(value));
+    } else if (std::strcmp(flag, "--threads") == 0) {
+      opts.config.threads = static_cast<u32>(std::atoi(value));
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      opts.config.seed = static_cast<u64>(std::atoll(value));
+    } else {
+      opts.filter = value;
+    }
+  }
+  return opts;
+}
+
+}  // namespace dnstime::campaign

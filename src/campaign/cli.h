@@ -1,0 +1,28 @@
+// Shared command-line parsing for campaign-driven binaries (benches and
+// examples), so every tool accepts the same flags with the same error
+// behaviour: unknown flags and missing values are reported, not silently
+// skipped.
+#pragma once
+
+#include <string>
+
+#include "campaign/runner.h"
+
+namespace dnstime::campaign {
+
+struct CliOptions {
+  CampaignConfig config;
+  std::string filter;  ///< scenario name prefix (tools define the default)
+  bool json = false;
+  bool ok = true;  ///< false => a parse error was printed to stderr
+};
+
+/// Parses --trials N, --threads T, --seed S and (when
+/// `scenario_flags` is set) --filter PREFIX and --json. `defaults`
+/// seeds the returned options. On any unknown flag or missing value,
+/// prints a usage line to stderr and returns ok = false.
+[[nodiscard]] CliOptions parse_cli(int argc, char** argv,
+                                   CliOptions defaults,
+                                   bool scenario_flags = false);
+
+}  // namespace dnstime::campaign

@@ -1,0 +1,149 @@
+#include "campaign/report.h"
+
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+
+namespace dnstime::campaign {
+namespace {
+
+/// Shortest-round-trip formatting for doubles: enough digits to be exact,
+/// no locale dependence — the report must be byte-stable across runs.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (u < 0x20) {  // RFC 8259: control characters must be escaped
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioAggregate ScenarioAggregate::from_results(
+    const ScenarioSpec& spec, std::vector<TrialResult> results) {
+  ScenarioAggregate agg;
+  agg.name = spec.name;
+  agg.attack = to_string(spec.attack);
+  agg.trials = static_cast<u32>(results.size());
+
+  EmpiricalCdf durations;
+  std::vector<double> success_durations;
+  std::vector<double> shifts;
+  std::vector<double> metrics;
+  for (const TrialResult& r : results) {
+    if (!r.error.empty()) agg.errors++;
+    if (r.success) {
+      agg.successes++;
+      durations.add(r.duration_s);
+      success_durations.push_back(r.duration_s);
+      shifts.push_back(r.clock_shift_s);
+    }
+    metrics.push_back(r.metric);
+    agg.fragments_total += r.fragments_planted;
+  }
+  if (agg.trials > 0) {
+    agg.success_rate =
+        static_cast<double>(agg.successes) / static_cast<double>(agg.trials);
+  }
+  if (durations.size() > 0) {
+    agg.duration_p50_s = durations.quantile(0.5);
+    agg.duration_p90_s = durations.quantile(0.9);
+  }
+  agg.duration_mean_s = mean(success_durations);
+  agg.shift_mean_s = mean(shifts);
+  agg.metric_mean = mean(metrics);
+  agg.results = std::move(results);
+  return agg;
+}
+
+std::string CampaignReport::to_json(bool include_trials) const {
+  std::string out;
+  out += "{\"seed\":" + std::to_string(seed);
+  out += ",\"trials_per_scenario\":" + std::to_string(trials_per_scenario);
+  out += ",\"scenarios\":[";
+  bool first_scenario = true;
+  for (const ScenarioAggregate& s : scenarios) {
+    if (!first_scenario) out += ",";
+    first_scenario = false;
+    out += "{\"name\":\"";
+    json_escape_into(out, s.name);
+    out += "\",\"attack\":\"";
+    json_escape_into(out, s.attack);
+    out += "\",\"trials\":" + std::to_string(s.trials);
+    out += ",\"successes\":" + std::to_string(s.successes);
+    out += ",\"errors\":" + std::to_string(s.errors);
+    out += ",\"success_rate\":" + fmt(s.success_rate);
+    out += ",\"duration_mean_s\":" + fmt(s.duration_mean_s);
+    out += ",\"duration_p50_s\":" + fmt(s.duration_p50_s);
+    out += ",\"duration_p90_s\":" + fmt(s.duration_p90_s);
+    out += ",\"shift_mean_s\":" + fmt(s.shift_mean_s);
+    out += ",\"metric_mean\":" + fmt(s.metric_mean);
+    out += ",\"fragments_total\":" + std::to_string(s.fragments_total);
+    if (include_trials) {
+      out += ",\"results\":[";
+      bool first_trial = true;
+      for (const TrialResult& r : s.results) {
+        if (!first_trial) out += ",";
+        first_trial = false;
+        out += "{\"trial\":" + std::to_string(r.trial);
+        out += ",\"seed\":" + std::to_string(r.seed);
+        out += ",\"success\":" + std::string(r.success ? "true" : "false");
+        out += ",\"duration_s\":" + fmt(r.duration_s);
+        out += ",\"clock_shift_s\":" + fmt(r.clock_shift_s);
+        out += ",\"metric\":" + fmt(r.metric);
+        out += ",\"fragments_planted\":" + std::to_string(r.fragments_planted);
+        out += ",\"replant_rounds\":" + std::to_string(r.replant_rounds);
+        if (!r.error.empty()) {
+          out += ",\"error\":\"";
+          json_escape_into(out, r.error);
+          out += "\"";
+        }
+        out += "}";
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string CampaignReport::to_table() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "  %-24s %-9s %7s %9s %10s %10s %10s\n", "scenario", "attack",
+                "trials", "success", "mean", "p50", "p90");
+  out += line;
+  out += "  ";
+  out.append(84, '-');
+  out += "\n";
+  for (const ScenarioAggregate& s : scenarios) {
+    std::snprintf(line, sizeof line,
+                  "  %-24s %-9s %7u %8.0f%% %7.1f min %7.1f min %7.1f min\n",
+                  s.name.c_str(), s.attack.c_str(), s.trials,
+                  s.success_rate * 100.0, s.duration_mean_s / 60.0,
+                  s.duration_p50_s / 60.0, s.duration_p90_s / 60.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dnstime::campaign

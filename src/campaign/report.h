@@ -1,0 +1,51 @@
+// Structured campaign results: per-scenario aggregates over trial results,
+// with deterministic JSON and ASCII-table writers.
+//
+// Reports contain only simulation-derived values — no wall-clock times, no
+// thread counts — so the same campaign seed yields byte-identical output
+// regardless of how many workers executed it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/scenario_spec.h"
+
+namespace dnstime::campaign {
+
+/// Aggregate over all trials of one scenario. Quantiles are computed over
+/// successful trials only (an unsuccessful trial's duration is the
+/// deadline, which would say nothing about the attack).
+struct ScenarioAggregate {
+  std::string name;
+  std::string attack;
+  u32 trials = 0;
+  u32 successes = 0;
+  u32 errors = 0;
+  double success_rate = 0.0;
+  double duration_mean_s = 0.0;
+  double duration_p50_s = 0.0;
+  double duration_p90_s = 0.0;
+  double shift_mean_s = 0.0;   ///< mean final clock offset, successful trials
+  double metric_mean = 0.0;    ///< mean scenario-defined metric, all trials
+  u64 fragments_total = 0;
+  std::vector<TrialResult> results;  ///< trial-index order
+
+  /// Builds the aggregate from trial-ordered results (reuses
+  /// common/stats.h means and common/histogram.h EmpiricalCdf quantiles).
+  [[nodiscard]] static ScenarioAggregate from_results(
+      const ScenarioSpec& spec, std::vector<TrialResult> results);
+};
+
+struct CampaignReport {
+  u64 seed = 0;
+  u32 trials_per_scenario = 0;
+  std::vector<ScenarioAggregate> scenarios;  ///< scenario registration order
+
+  /// Machine-readable form; stable key order and number formatting.
+  [[nodiscard]] std::string to_json(bool include_trials = true) const;
+  /// Human-readable summary table.
+  [[nodiscard]] std::string to_table() const;
+};
+
+}  // namespace dnstime::campaign

@@ -1,0 +1,100 @@
+#include "campaign/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "campaign/trial.h"
+#include "common/rng.h"
+
+namespace dnstime::campaign {
+namespace {
+
+/// FNV-1a over the scenario name: the scenario's contribution to a trial
+/// seed depends on its identity, not its position in the campaign.
+u64 name_hash(const std::string& name) {
+  u64 h = 0xCBF29CE484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+u64 CampaignRunner::trial_seed(u64 campaign_seed, const ScenarioSpec& scenario,
+                               u32 trial) {
+  return mix_seed(campaign_seed, name_hash(scenario.name), trial);
+}
+
+CampaignReport CampaignRunner::run(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  const u32 trials = config_.trials;
+  const std::size_t total = scenarios.size() * trials;
+
+  // One pre-sized slot per (scenario, trial): workers write disjoint slots,
+  // so the only synchronisation the results need is the final join.
+  std::vector<std::vector<TrialResult>> results(scenarios.size());
+  for (auto& slot : results) slot.resize(trials);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mutex;
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < total;
+         i = next.fetch_add(1)) {
+      const std::size_t scenario_idx = i / trials;
+      const u32 trial_idx = static_cast<u32>(i % trials);
+      const ScenarioSpec& spec = scenarios[scenario_idx];
+      TrialContext ctx;
+      ctx.campaign_seed = config_.seed;
+      ctx.trial = trial_idx;
+      ctx.seed = trial_seed(config_.seed, spec, trial_idx);
+      TrialResult result;
+      try {
+        result = run_trial(spec, ctx);
+      } catch (const std::exception& e) {
+        result.trial = trial_idx;
+        result.seed = ctx.seed;
+        result.error = e.what();
+      } catch (...) {
+        result.trial = trial_idx;
+        result.seed = ctx.seed;
+        result.error = "unknown exception";
+      }
+      if (progress_) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        progress_(spec, result);
+      }
+      results[scenario_idx][trial_idx] = std::move(result);
+    }
+  };
+
+  u32 threads = config_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<u32>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(total, 1)));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  CampaignReport report;
+  report.seed = config_.seed;
+  report.trials_per_scenario = trials;
+  report.scenarios.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    report.scenarios.push_back(
+        ScenarioAggregate::from_results(scenarios[i], std::move(results[i])));
+  }
+  return report;
+}
+
+}  // namespace dnstime::campaign

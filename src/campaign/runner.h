@@ -1,0 +1,60 @@
+// Parallel Monte Carlo campaign execution.
+//
+// A campaign = a set of scenarios x N independent trials each. Every trial
+// builds its own World seeded by mix_seed(campaign seed, scenario name
+// hash, trial index), so:
+//   * trials share no state and can run on any worker thread;
+//   * a trial's seed depends only on campaign seed + scenario + index,
+//     never on scheduling, so reports are byte-identical at any thread
+//     count (the determinism contract tests/campaign/ verifies);
+//   * adding or reordering scenarios does not disturb other scenarios'
+//     results.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "campaign/report.h"
+#include "campaign/scenario_spec.h"
+
+namespace dnstime::campaign {
+
+struct CampaignConfig {
+  u64 seed = 0x5eed;
+  /// Independent trials per scenario.
+  u32 trials = 8;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  u32 threads = 0;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig config) : config_(config) {}
+
+  /// Called after each finished trial (from worker threads, serialised by
+  /// an internal mutex). For progress display; must not mutate the specs.
+  using Progress =
+      std::function<void(const ScenarioSpec&, const TrialResult&)>;
+  void set_progress(Progress progress) { progress_ = std::move(progress); }
+
+  /// Runs all trials of all scenarios across the worker pool and returns
+  /// the aggregated report, scenarios in input order, trials in index
+  /// order. A trial that throws is recorded as a failed trial with its
+  /// exception text in TrialResult::error.
+  [[nodiscard]] CampaignReport run(
+      const std::vector<ScenarioSpec>& scenarios) const;
+
+  /// Seed of trial `trial` of `scenario` under campaign seed
+  /// `campaign_seed` (exposed so tests and tools can replay one trial).
+  [[nodiscard]] static u64 trial_seed(u64 campaign_seed,
+                                      const ScenarioSpec& scenario,
+                                      u32 trial);
+
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+  Progress progress_;
+};
+
+}  // namespace dnstime::campaign

@@ -1,0 +1,163 @@
+#include "campaign/scenario_spec.h"
+
+#include <stdexcept>
+
+namespace dnstime::campaign {
+
+const char* to_string(ClientKind k) {
+  switch (k) {
+    case ClientKind::kNtpdKnownList: return "ntpd-p1";
+    case ClientKind::kNtpdRefid: return "ntpd-p2";
+    case ClientKind::kChrony: return "chrony";
+    case ClientKind::kOpenntpd: return "openntpd";
+  }
+  return "?";
+}
+
+const char* to_string(AttackKind k) {
+  switch (k) {
+    case AttackKind::kRunTime: return "run-time";
+    case AttackKind::kBootTime: return "boot-time";
+    case AttackKind::kChronos: return "chronos";
+    case AttackKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+ScenarioRegistry& ScenarioRegistry::add(ScenarioSpec spec) {
+  if (find(spec.name) != nullptr) {
+    throw std::invalid_argument("duplicate scenario name: " + spec.name);
+  }
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+const ScenarioSpec* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<ScenarioSpec> ScenarioRegistry::select(
+    std::string_view prefix) const {
+  std::vector<ScenarioSpec> out;
+  for (const auto& s : specs_) {
+    if (std::string_view(s.name).substr(0, prefix.size()) == prefix) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+ScenarioSpec table2_scenario(ClientKind client) {
+  ScenarioSpec spec;
+  spec.name = std::string("table2/") + to_string(client);
+  spec.description =
+      std::string("run-time attack duration against ") + to_string(client);
+  spec.client = client;
+  spec.attack = AttackKind::kRunTime;
+  if (client == ClientKind::kOpenntpd) {
+    // openntpd never re-queries DNS on its own; the trial models a
+    // 60-minute stall watchdog restart, so give the clock room to land.
+    spec.stop.settle = sim::Duration::minutes(30);
+  }
+  return spec;
+}
+
+ScenarioSpec boot_time_scenario() {
+  ScenarioSpec spec;
+  spec.name = "boot-time/ntpd";
+  spec.description =
+      "poison the resolver first, then boot an ntpd into the attacker";
+  spec.attack = AttackKind::kBootTime;
+  spec.stop.deadline = sim::Duration::minutes(30);
+  spec.stop.settle = sim::Duration::minutes(10);
+  return spec;
+}
+
+ScenarioSpec chronos_scenario(int honest_rounds) {
+  ScenarioSpec spec;
+  spec.name = "chronos/pool-freeze";
+  spec.description = "freeze the Chronos pool with one long-TTL poisoning";
+  spec.attack = AttackKind::kChronos;
+  spec.chronos_honest_rounds = honest_rounds;
+  spec.world.pool_size = 96;
+  spec.world.attacker_ntp_count = 89;
+  spec.world.rate_limit_fraction = 0.0;
+  spec.stop.deadline = sim::Duration::hours(27);
+  spec.stop.settle = sim::Duration::hours(1);
+  return spec;
+}
+
+std::vector<ScenarioSpec> mtu_sweep(const std::vector<u16>& mtus) {
+  std::vector<ScenarioSpec> out;
+  for (u16 mtu : mtus) {
+    ScenarioSpec spec = boot_time_scenario();
+    spec.name = "sweep/mtu-" + std::to_string(mtu);
+    spec.description = "boot-time poisoning with attack MTU " +
+                       std::to_string(mtu) + " B";
+    spec.world.attack_mtu = mtu;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> pool_size_sweep(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<ScenarioSpec> out;
+  for (std::size_t n : sizes) {
+    ScenarioSpec spec = boot_time_scenario();
+    spec.name = "sweep/pool-" + std::to_string(n);
+    spec.description =
+        "boot-time poisoning with " + std::to_string(n) + " pool servers";
+    spec.world.pool_size = n;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> rate_limit_sweep(
+    const std::vector<double>& fractions) {
+  std::vector<ScenarioSpec> out;
+  for (double f : fractions) {
+    ScenarioSpec spec = table2_scenario(ClientKind::kNtpdKnownList);
+    int pct = static_cast<int>(f * 100.0 + 0.5);
+    spec.name = "sweep/ratelimit-" + std::to_string(pct);
+    spec.description = "run-time attack with " + std::to_string(pct) +
+                       "% of pool servers rate limiting";
+    spec.world.rate_limit_fraction = f;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> ttl_sweep(const std::vector<u32>& ttls) {
+  std::vector<ScenarioSpec> out;
+  for (u32 ttl : ttls) {
+    ScenarioSpec spec = boot_time_scenario();
+    spec.name = "sweep/ttl-" + std::to_string(ttl);
+    spec.description =
+        "boot-time poisoning with pool A TTL " + std::to_string(ttl) + " s";
+    spec.world.pool_a_ttl = ttl;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+ScenarioRegistry ScenarioRegistry::builtin() {
+  ScenarioRegistry reg;
+  reg.add(table2_scenario(ClientKind::kNtpdRefid));
+  reg.add(table2_scenario(ClientKind::kNtpdKnownList));
+  reg.add(table2_scenario(ClientKind::kOpenntpd));
+  reg.add(table2_scenario(ClientKind::kChrony));
+  reg.add(boot_time_scenario());
+  reg.add(chronos_scenario());
+  for (auto& s : mtu_sweep()) reg.add(std::move(s));
+  for (auto& s : pool_size_sweep()) reg.add(std::move(s));
+  for (auto& s : rate_limit_sweep()) reg.add(std::move(s));
+  for (auto& s : ttl_sweep()) reg.add(std::move(s));
+  return reg;
+}
+
+}  // namespace dnstime::campaign

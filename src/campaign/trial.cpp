@@ -1,0 +1,243 @@
+#include "campaign/trial.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "attack/boot_time_attack.h"
+#include "attack/chronos_attack.h"
+#include "attack/query_trigger.h"
+#include "attack/run_time_attack.h"
+#include "chronos/chronos_client.h"
+#include "ntp/clients/chrony.h"
+#include "ntp/clients/ntpd.h"
+#include "ntp/clients/openntpd.h"
+#include "scenario/world.h"
+
+namespace dnstime::campaign {
+namespace {
+
+using scenario::World;
+using sim::Duration;
+
+const Ipv4Addr kVictim{10, 77, 0, 1};
+
+/// Fragmentation cache poisoning of the resolver's delegation — the common
+/// first stage of every run-time trial. The poisoner lives in the caller's
+/// scope for the rest of the trial so replants keep the cache primed.
+void poison_delegation(World& world, attack::CachePoisoner& poisoner) {
+  poisoner.start();
+  world.run_for(Duration::seconds(20));
+  attack::QueryTrigger::via_open_resolver(
+      world.attacker(), world.resolver_addr(),
+      dns::DnsName::from_string("pool.ntp.org"));
+  world.run_for(Duration::seconds(10));
+}
+
+/// Advance the world in slices until `done` reports true or `budget` runs
+/// out; returns the simulated time consumed.
+Duration run_until(World& world, Duration budget, Duration slice,
+                   const std::function<bool()>& done) {
+  Duration spent;
+  while (spent < budget && !done()) {
+    world.run_for(slice);
+    spent = spent + slice;
+  }
+  return spent;
+}
+
+TrialResult run_time_trial(const ScenarioSpec& spec, TrialResult result) {
+  scenario::WorldConfig wc = spec.world;
+  wc.seed = result.seed;
+  World world(wc);
+
+  auto& host = world.add_host(kVictim);
+  ntp::ClientBaseConfig cfg;
+  cfg.resolver = world.resolver_addr();
+
+  std::unique_ptr<ntp::NtpClientBase> client;
+  std::unique_ptr<ntp::NtpServer> victim_server;
+  switch (spec.client) {
+    case ClientKind::kNtpdKnownList:
+    case ClientKind::kNtpdRefid: {
+      auto ntpd =
+          std::make_unique<ntp::NtpdClient>(*host.stack, host.clock, cfg);
+      victim_server = std::make_unique<ntp::NtpServer>(*host.stack, host.clock,
+                                                       ntp::ServerConfig{});
+      ntpd->attach_server(victim_server.get());
+      client = std::move(ntpd);
+      break;
+    }
+    case ClientKind::kChrony:
+      // chrony backs off its poll interval under persistent failure.
+      cfg.poll_interval = Duration::seconds(192);
+      client =
+          std::make_unique<ntp::ChronyClient>(*host.stack, host.clock, cfg);
+      break;
+    case ClientKind::kOpenntpd:
+      client =
+          std::make_unique<ntp::OpenntpdClient>(*host.stack, host.clock, cfg);
+      break;
+  }
+  client->start();
+  world.run_for(Duration::minutes(12));
+  if (host.clock.offset() < -1.0) {
+    result.error = "victim failed to synchronise honestly before the attack";
+    result.clock_shift_s = host.clock.offset();
+    return result;
+  }
+
+  attack::CachePoisoner poisoner(world.attacker(),
+                                 world.default_poisoner_config());
+  poison_delegation(world, poisoner);
+
+  sim::Time attack_start = world.loop().now();
+  attack::RunTimeConfig rc;
+  rc.victim = kVictim;
+  rc.discovery = spec.client == ClientKind::kNtpdRefid
+                     ? attack::RunTimeConfig::Discovery::kRefidLeak
+                     : attack::RunTimeConfig::Discovery::kKnownList;
+  rc.known_servers = world.pool_server_addrs();
+  rc.deadline = spec.stop.deadline;
+  attack::RunTimeAttack attack(world.attacker(), rc);
+  std::optional<attack::AttackOutcome> outcome;
+  attack.run([&] { return host.clock.offset() <= spec.stop.success_shift; },
+             [&](const attack::AttackOutcome& o) { outcome = o; });
+
+  if (spec.client == ClientKind::kOpenntpd) {
+    // openntpd never re-queries DNS: the attack starves it until the
+    // operator/watchdog restarts the daemon (we model a 60-minute stall
+    // watchdog), whose boot-time lookup then hits the poisoned cache.
+    auto* ontpd = static_cast<ntp::OpenntpdClient*>(client.get());
+    world.loop().schedule_after(Duration::minutes(60),
+                                [ontpd] { ontpd->restart(); });
+  }
+
+  run_until(world, spec.stop.deadline + spec.stop.settle,
+            Duration::minutes(5), [&] { return outcome.has_value(); });
+
+  result.clock_shift_s = host.clock.offset();
+  result.fragments_planted = poisoner.fragments_planted();
+  if (outcome && outcome->success) {
+    result.success = true;
+    result.duration_s = (outcome->at - attack_start).to_seconds();
+    result.replant_rounds = outcome->replant_rounds;
+  } else {
+    result.duration_s = spec.stop.deadline.to_seconds();
+  }
+  return result;
+}
+
+TrialResult boot_time_trial(const ScenarioSpec& spec, TrialResult result) {
+  scenario::WorldConfig wc = spec.world;
+  wc.seed = result.seed;
+  World world(wc);
+
+  attack::BootTimeConfig bc;
+  bc.poison = world.default_poisoner_config();
+  bc.trigger = attack::BootTimeConfig::Trigger::kOpenResolver;
+  bc.deadline = spec.stop.deadline;
+  attack::BootTimeAttack attack(world.attacker(), bc);
+  attack.set_success_check([&] { return world.pool_a_poisoned(); });
+
+  sim::Time attack_start = world.loop().now();
+  std::optional<attack::AttackOutcome> outcome;
+  attack.run([&](const attack::AttackOutcome& o) { outcome = o; });
+  run_until(world, spec.stop.deadline + Duration::minutes(1),
+            Duration::seconds(30), [&] { return outcome.has_value(); });
+
+  if (outcome) {
+    result.fragments_planted = outcome->fragments_planted;
+    result.replant_rounds = outcome->replant_rounds;
+  }
+  if (!outcome || !outcome->success) {
+    result.duration_s = spec.stop.deadline.to_seconds();
+    return result;
+  }
+  result.duration_s = (outcome->at - attack_start).to_seconds();
+
+  // Fig. 2's second half: a victim that boots after the poisoning takes
+  // all of its time from the attacker.
+  auto& host = world.add_host(kVictim);
+  ntp::ClientBaseConfig cfg;
+  cfg.resolver = world.resolver_addr();
+  ntp::NtpdClient client(*host.stack, host.clock, cfg);
+  client.start();
+  world.run_for(spec.stop.settle);
+  result.clock_shift_s = host.clock.offset();
+  result.success = result.clock_shift_s <= spec.stop.success_shift;
+  return result;
+}
+
+TrialResult chronos_trial(const ScenarioSpec& spec, TrialResult result) {
+  scenario::WorldConfig wc = spec.world;
+  wc.seed = result.seed;
+  World world(wc);
+
+  auto& victim = world.add_host(kVictim);
+  ntp::ClientBaseConfig cfg;
+  cfg.resolver = world.resolver_addr();
+  chronos::ChronosClient client(*victim.stack, victim.clock, cfg);
+  client.start();
+
+  // Let N honest hourly pool-building rounds complete, then poison —
+  // the §VI-C closed form says the attacker wins iff N <= 11. N = 0
+  // poisons before the first honest query completes.
+  if (spec.chronos_honest_rounds > 0) {
+    world.run_for(Duration::hours(spec.chronos_honest_rounds - 1) +
+                  Duration::minutes(30));
+  }
+  attack::ChronosAttack attack(
+      world.attacker(),
+      attack::ChronosAttackConfig{
+          .resolver_addr = world.resolver_addr(),
+          .malicious_ntp = world.attacker_ntp_addrs()});
+  attack.inject_whitebox(world.resolver());
+
+  Duration spent = run_until(
+      world, spec.stop.deadline + spec.stop.settle, Duration::hours(1),
+      [&] { return victim.clock.offset() <= spec.stop.success_shift; });
+
+  result.clock_shift_s = victim.clock.offset();
+  result.success = result.clock_shift_s <= spec.stop.success_shift;
+  result.duration_s = result.success ? spent.to_seconds()
+                                     : spec.stop.deadline.to_seconds();
+  // The §VI-C metric: what fraction of the final pool does the attacker
+  // control? > 2/3 hands over the Chronos clock.
+  std::size_t malicious = 0;
+  const auto& pool = client.pool_builder().pool();
+  for (Ipv4Addr addr : pool) {
+    if (world.is_attacker_ntp(addr)) malicious++;
+  }
+  result.metric = pool.empty() ? 0.0
+                               : static_cast<double>(malicious) /
+                                     static_cast<double>(pool.size());
+  return result;
+}
+
+}  // namespace
+
+TrialResult run_trial(const ScenarioSpec& spec, const TrialContext& ctx) {
+  TrialResult result;
+  result.trial = ctx.trial;
+  result.seed = ctx.seed;
+  switch (spec.attack) {
+    case AttackKind::kRunTime:
+      return run_time_trial(spec, std::move(result));
+    case AttackKind::kBootTime:
+      return boot_time_trial(spec, std::move(result));
+    case AttackKind::kChronos:
+      return chronos_trial(spec, std::move(result));
+    case AttackKind::kCustom:
+      if (!spec.trial_fn) {
+        throw std::invalid_argument("scenario '" + spec.name +
+                                    "' is kCustom but has no trial_fn");
+      }
+      result = spec.trial_fn(spec, ctx);
+      result.trial = ctx.trial;
+      result.seed = ctx.seed;
+      return result;
+  }
+  throw std::logic_error("unknown attack kind");
+}
+
+}  // namespace dnstime::campaign

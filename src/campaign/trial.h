@@ -1,0 +1,19 @@
+// One trial = one fully isolated deterministic World, one attack, one
+// result. Trials own every object they create (poisoners included), so a
+// worker thread can run any number of them with no shared state and no
+// process-global keepalives.
+#pragma once
+
+#include "campaign/scenario_spec.h"
+
+namespace dnstime::campaign {
+
+/// Executes one trial of `spec` with the identity in `ctx`. Dispatches on
+/// spec.attack (or spec.trial_fn for AttackKind::kCustom). Deterministic:
+/// equal (spec, ctx.seed) pairs produce equal results on any thread.
+/// Throws only on misconfiguration (e.g. kCustom without a trial_fn);
+/// attack failure is reported via TrialResult::success.
+[[nodiscard]] TrialResult run_trial(const ScenarioSpec& spec,
+                                    const TrialContext& ctx);
+
+}  // namespace dnstime::campaign

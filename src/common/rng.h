@@ -13,6 +13,24 @@
 
 namespace dnstime {
 
+/// SplitMix64 finalizer. Mixes up to three words (e.g. campaign seed,
+/// scenario id, trial index) into one well-distributed seed, so every
+/// trial owns a statistically independent stream without any engine being
+/// shared across threads.
+[[nodiscard]] constexpr u64 mix_seed(u64 a, u64 b = 0, u64 c = 0) {
+  u64 z = a;
+  auto mix = [](u64 x) constexpr {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  };
+  z = mix(z);
+  z = mix(z ^ b);
+  z = mix(z ^ c);
+  return z;
+}
+
 class Rng {
  public:
   explicit Rng(u64 seed = 0x5eed) : engine_(seed) {}

@@ -39,6 +39,7 @@ World::World(WorldConfig config)
       net_, Ipv4Addr{198, 51, 100, 53}, config_.ns_stack, rng_.fork());
   nameserver_ = std::make_unique<dns::Nameserver>(*ns_stack_);
   dns::PoolZone::Config pz;
+  pz.a_ttl = config_.pool_a_ttl;
   pz.pad_txt_bytes = config_.pool_response_pad;
   pz.nameservers = {
       {dns::DnsName::from_string("ns1.ntp.org"), ns_stack_->addr()},

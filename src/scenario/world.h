@@ -41,6 +41,9 @@ struct WorldConfig {
   double attacker_time_shift = -500.0;
   /// Number of attacker NTP servers (4 plain; 89 for the Chronos attack).
   std::size_t attacker_ntp_count = 4;
+  /// TTL of the pool A records (§IV-A: 150 s); campaign sweeps vary it to
+  /// show how re-query cadence bounds the attack windows.
+  u32 pool_a_ttl = 150;
   u16 attack_mtu = 296;
   net::StackConfig resolver_stack;   ///< fragment policy of the resolver
   dns::Resolver::Config resolver;
