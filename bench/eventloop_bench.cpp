@@ -1,0 +1,228 @@
+// Event-loop hot-path microbenchmark: the refactored sim::EventLoop
+// (flat 4-ary heap, slot+generation handles, SmallFn callbacks, move-out
+// pop) versus the frozen pre-refactor implementation in
+// legacy_event_loop.h, on the three workload shapes the simulator actually
+// produces:
+//
+//   timer_churn     self-rescheduling periodic timers (NTP poll loops,
+//                   reassembly-cache sweeps);
+//   packet_burst    one-shot events each carrying a packet payload
+//                   (Network::send -> deliver), the single hottest pattern
+//                   in a fragment-spray campaign;
+//   cancel_heavy    schedule + cancel churn (DNS query timeouts that are
+//                   cancelled by the response in the common case).
+//
+// Results go to stdout and to a JSON file (default BENCH_eventloop.json)
+// that CI uploads, so the events/sec trajectory is tracked per commit.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "legacy_event_loop.h"
+#include "sim/event_loop.h"
+
+namespace dnstime::bench {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// N timers, each rescheduling itself until the shared fire budget is
+/// spent. Exercises schedule->pop->reschedule steady state: heap churn at
+/// mixed timestamps with zero cancellations. Shaped like the NTP clients:
+/// an object whose tick schedules `[this] { tick(); }`.
+template <class Loop>
+struct Timer {
+  Loop& loop;
+  u64& fired;
+  u64 total_fires;
+  Duration period;
+  void tick() {
+    if (++fired >= total_fires) return;
+    loop.schedule_after(period, [this] { tick(); });
+  }
+};
+
+template <class Loop>
+u64 timer_churn(u64 total_fires) {
+  Loop loop;
+  constexpr int kTimers = 64;
+  u64 fired = 0;
+  std::vector<Timer<Loop>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    // Each timer has its own period so timestamps interleave.
+    timers.push_back(Timer<Loop>{loop, fired, total_fires,
+                                 Duration::millis(10 + i)});
+    loop.schedule_after(timers.back().period,
+                        [t = &timers.back()] { t->tick(); });
+  }
+  loop.run_all();
+  return fired;
+}
+
+/// One-shot events each carrying a packet-sized payload to a delivery
+/// callback — the Network::send shape. The payload is moved into the
+/// event; the pre-refactor loop pays a std::function heap allocation plus
+/// a payload copy on the copy-out pop.
+template <class Loop>
+u64 packet_burst(u64 total_packets, std::size_t payload_size) {
+  Loop loop;
+  u64 delivered = 0;
+  constexpr u64 kBatch = 4096;  // bounded queue depth, like a live sim
+  for (u64 sent = 0; sent < total_packets;) {
+    u64 n = std::min(kBatch, total_packets - sent);
+    for (u64 i = 0; i < n; ++i) {
+      Bytes payload(payload_size, static_cast<u8>(i));
+      loop.schedule_after(Duration::micros(static_cast<i64>(i % 97)),
+                          [p = std::move(payload), &delivered] {
+                            delivered += p.empty() ? 0 : 1;
+                          });
+    }
+    sent += n;
+    loop.run_all();
+  }
+  return delivered;
+}
+
+/// Schedule a timeout per "query", cancel most of them (the response
+/// arrived), fire the rest — the DNS resolver timeout shape.
+template <class Loop>
+u64 cancel_heavy(u64 total_events) {
+  Loop loop;
+  u64 fired = 0;
+  constexpr u64 kBatch = 2048;
+  for (u64 done = 0; done < total_events;) {
+    u64 n = std::min(kBatch, total_events - done);
+    std::vector<decltype(loop.schedule_after(Duration{}, [] {}))> handles;
+    handles.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+      handles.push_back(loop.schedule_after(Duration::millis(5),
+                                            [&fired] { fired++; }));
+    }
+    for (u64 i = 0; i < n; ++i) {
+      if (i % 8 != 0) handles[i].cancel();  // 7 of 8 queries get answers
+    }
+    loop.run_all();
+    done += n;
+  }
+  return fired;
+}
+
+struct WorkloadResult {
+  std::string name;
+  u64 events = 0;
+  double legacy_s = 0.0;
+  double new_s = 0.0;
+  [[nodiscard]] double legacy_eps() const {
+    return static_cast<double>(events) / legacy_s;
+  }
+  [[nodiscard]] double new_eps() const {
+    return static_cast<double>(events) / new_s;
+  }
+  [[nodiscard]] double speedup() const { return legacy_s / new_s; }
+};
+
+template <class Fn>
+double timed(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return seconds_since(start);
+}
+
+}  // namespace
+}  // namespace dnstime::bench
+
+int main(int argc, char** argv) {
+  using namespace dnstime;
+  using namespace dnstime::bench;
+
+  u64 scale = 2'000'000;
+  std::string out_path = "BENCH_eventloop.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale N] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  header("event-loop hot path: refactored vs pre-refactor loop");
+
+  std::vector<WorkloadResult> results;
+  {
+    WorkloadResult r{.name = "timer_churn", .events = scale};
+    r.legacy_s =
+        timed([&] { timer_churn<bench_legacy::LegacyEventLoop>(scale); });
+    r.new_s = timed([&] { timer_churn<sim::EventLoop>(scale); });
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{.name = "packet_burst", .events = scale};
+    r.legacy_s = timed(
+        [&] { packet_burst<bench_legacy::LegacyEventLoop>(scale, 90); });
+    r.new_s = timed([&] { packet_burst<sim::EventLoop>(scale, 90); });
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{.name = "cancel_heavy", .events = scale};
+    r.legacy_s =
+        timed([&] { cancel_heavy<bench_legacy::LegacyEventLoop>(scale); });
+    r.new_s = timed([&] { cancel_heavy<sim::EventLoop>(scale); });
+    results.push_back(r);
+  }
+
+  std::printf("  %-14s %12s %14s %14s %9s\n", "workload", "events",
+              "legacy ev/s", "new ev/s", "speedup");
+  std::printf("  ");
+  for (int i = 0; i < 66; ++i) std::printf("-");
+  std::printf("\n");
+  double speedup_product = 1.0;
+  for (const WorkloadResult& r : results) {
+    std::printf("  %-14s %12llu %14.0f %14.0f %8.2fx\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.legacy_eps(),
+                r.new_eps(), r.speedup());
+    speedup_product *= r.speedup();
+  }
+  double geomean = std::pow(speedup_product, 1.0 / results.size());
+  std::printf("  geomean speedup: %.2fx\n", geomean);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\":\"eventloop\",\"scale\":%llu,\"workloads\":[",
+               static_cast<unsigned long long>(scale));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"name\":\"%s\",\"events\":%llu,\"legacy_s\":%.4f,"
+                 "\"new_s\":%.4f,\"legacy_events_per_sec\":%.0f,"
+                 "\"new_events_per_sec\":%.0f,\"speedup\":%.3f}",
+                 i ? "," : "", r.name.c_str(),
+                 static_cast<unsigned long long>(r.events), r.legacy_s,
+                 r.new_s, r.legacy_eps(), r.new_eps(), r.speedup());
+  }
+  std::fprintf(f, "],\"geomean_speedup\":%.3f}\n", geomean);
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}

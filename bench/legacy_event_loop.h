@@ -1,0 +1,100 @@
+// Frozen copy of the pre-refactor sim::EventLoop (std::priority_queue over
+// std::function events, one shared_ptr<bool> cancellation token per event,
+// copy-out pop). Kept ONLY as the baseline side of bench_eventloop, so the
+// refactored loop's speedup is measured against the real prior
+// implementation on every CI run rather than against a number in a commit
+// message. Do not use outside the bench.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dnstime::bench_legacy {
+
+using sim::Duration;
+using sim::Time;
+
+using EventFn = std::function<void()>;
+
+class LegacyEventLoop;
+
+class LegacyEventHandle {
+ public:
+  LegacyEventHandle() = default;
+
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class LegacyEventLoop;
+  explicit LegacyEventHandle(std::shared_ptr<bool> c)
+      : cancelled_(std::move(c)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class LegacyEventLoop {
+ public:
+  [[nodiscard]] Time now() const { return now_; }
+
+  LegacyEventHandle schedule_at(Time at, EventFn fn) {
+    if (at < now_) at = now_;
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{at, seq_++, std::move(fn), cancelled});
+    return LegacyEventHandle{cancelled};
+  }
+
+  LegacyEventHandle schedule_after(Duration d, EventFn fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  void run_until(Time until) {
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.at > until) break;
+      Event ev = top;
+      queue_.pop();
+      now_ = ev.at;
+      if (!*ev.cancelled) ev.fn();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  void run_all() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.at;
+      if (!*ev.cancelled) ev.fn();
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    u64 seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_;
+  u64 seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dnstime::bench_legacy

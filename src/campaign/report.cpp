@@ -1,5 +1,6 @@
 #include "campaign/report.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/histogram.h"
@@ -10,7 +11,10 @@ namespace {
 
 /// Shortest-round-trip formatting for doubles: enough digits to be exact,
 /// no locale dependence — the report must be byte-stable across runs.
+/// Non-finite values become `null`: %g would print `nan`/`inf`, which are
+/// not JSON and silently corrupt every downstream parse of the report.
 std::string fmt(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.6g", v);
   return buf;

@@ -41,6 +41,7 @@ CampaignReport CampaignRunner::run(
 
   std::atomic<std::size_t> next{0};
   std::mutex progress_mutex;
+  std::exception_ptr progress_error;  // first throw from progress_, if any
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < total;
          i = next.fetch_add(1)) {
@@ -63,11 +64,23 @@ CampaignReport CampaignRunner::run(
         result.seed = ctx.seed;
         result.error = "unknown exception";
       }
+      // Store the result before notifying: a throwing or slow progress
+      // callback must never lose (or observe a not-yet-stored) trial.
+      results[scenario_idx][trial_idx] = std::move(result);
       if (progress_) {
         std::lock_guard<std::mutex> lock(progress_mutex);
-        progress_(spec, result);
+        if (!progress_error) {
+          try {
+            progress_(spec, results[scenario_idx][trial_idx]);
+          } catch (...) {
+            // An escaping exception on a worker thread would terminate the
+            // process; capture the first one and rethrow it from run()
+            // after the pool joins. Later trials still execute, but their
+            // progress notifications are suppressed.
+            progress_error = std::current_exception();
+          }
+        }
       }
-      results[scenario_idx][trial_idx] = std::move(result);
     }
   };
 
@@ -85,6 +98,7 @@ CampaignReport CampaignRunner::run(
     for (u32 t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  if (progress_error) std::rethrow_exception(progress_error);
 
   CampaignReport report;
   report.seed = config_.seed;

@@ -33,6 +33,10 @@ class CampaignRunner {
 
   /// Called after each finished trial (from worker threads, serialised by
   /// an internal mutex). For progress display; must not mutate the specs.
+  /// The trial's result is stored before the callback runs, so a throwing
+  /// callback cannot lose it: the first exception a callback raises is
+  /// rethrown from run() after all workers finish (remaining trials still
+  /// execute; further progress notifications are suppressed).
   using Progress =
       std::function<void(const ScenarioSpec&, const TrialResult&)>;
   void set_progress(Progress progress) { progress_ = std::move(progress); }

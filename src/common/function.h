@@ -1,0 +1,132 @@
+// Small-buffer-optimized move-only callable wrapper.
+//
+// The event loop fires tens of millions of callbacks per campaign, and the
+// typical capture is tiny — an object pointer plus a packet. std::function
+// heap-allocates such captures (libstdc++'s inline buffer is two words) and
+// requires copyability; SmallFn keeps captures up to `InlineBytes` inside
+// the object, accepts move-only callables, and moves — never copies — the
+// target when the event queue reshuffles. Larger captures fall back to a
+// single heap allocation, so correctness never depends on the buffer size.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <functional>  // std::bad_function_call
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dnstime {
+
+template <class Sig, std::size_t InlineBytes = 64>
+class SmallFn;  // primary template left undefined; use SmallFn<R(Args...)>
+
+template <class R, class... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+  static_assert(InlineBytes >= sizeof(void*),
+                "buffer must hold at least the heap-fallback pointer");
+
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &vtable_inline<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &vtable_heap<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    if (vt_ == nullptr) throw std::bad_function_call{};
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct the target from `src` into `dst`, then destroy the
+    /// one in `src`. For heap-stored targets this just relocates the
+    /// pointer — no allocation either way.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= InlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static constexpr VTable vtable_inline = {
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <class Fn>
+  static constexpr VTable vtable_heap = {
+      [](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        Fn** p = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*p);
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    if (other.vt_) {
+      other.vt_->relocate(other.buf_, buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[InlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace dnstime

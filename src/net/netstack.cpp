@@ -75,7 +75,7 @@ void NetStack::send_udp(Ipv4Addr dst, u16 src_port, u16 dst_port,
   pkt.protocol = kProtoUdp;
   pkt.payload = encode_udp(dgram, addr_, dst);
   for (auto& frag : fragment(pkt, path_mtu(dst))) {
-    net_.send(frag);
+    net_.send(std::move(frag));
   }
 }
 
@@ -99,11 +99,11 @@ void NetStack::send_udp_fragmented(Ipv4Addr dst, u16 src_port, u16 dst_port,
     effective = static_cast<u16>(kIpv4HeaderSize + std::max<std::size_t>(cap, 8));
   }
   for (auto& frag : fragment(pkt, effective)) {
-    net_.send(frag);
+    net_.send(std::move(frag));
   }
 }
 
-void NetStack::send_raw(Ipv4Packet pkt) { net_.send(pkt); }
+void NetStack::send_raw(Ipv4Packet pkt) { net_.send(std::move(pkt)); }
 
 u64 NetStack::add_packet_tap(PacketTap tap) {
   u64 token = next_tap_token_++;

@@ -19,6 +19,7 @@ std::optional<Ipv4Packet> ReassemblyCache::insert(const Ipv4Packet& frag,
     Entry fresh;
     fresh.first_seen = now;
     it = entries_.emplace(key, std::move(fresh)).first;
+    pair_counts_[PairKey{key.src, key.dst, key.proto}]++;
   }
   Entry& entry = it->second;
 
@@ -33,7 +34,7 @@ std::optional<Ipv4Packet> ReassemblyCache::insert(const Ipv4Packet& frag,
   }
 
   auto done = try_complete(key, entry);
-  if (done) entries_.erase(key);
+  if (done) erase_entry(it);
   return done;
 }
 
@@ -68,7 +69,7 @@ std::optional<Ipv4Packet> ReassemblyCache::try_complete(const Key& key,
 void ReassemblyCache::expire(sim::Time now) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now - it->second.first_seen >= policy_.timeout) {
-      it = entries_.erase(it);
+      it = erase_entry(it);
       expired_++;
     } else {
       ++it;
@@ -77,11 +78,18 @@ void ReassemblyCache::expire(sim::Time now) {
 }
 
 std::size_t ReassemblyCache::count_pair(const Key& key) const {
-  std::size_t n = 0;
-  for (const auto& [k, _] : entries_) {
-    if (k.src == key.src && k.dst == key.dst && k.proto == key.proto) n++;
+  auto it = pair_counts_.find(PairKey{key.src, key.dst, key.proto});
+  return it == pair_counts_.end() ? 0 : it->second;
+}
+
+std::map<ReassemblyCache::Key, ReassemblyCache::Entry>::iterator
+ReassemblyCache::erase_entry(std::map<Key, Entry>::iterator it) {
+  auto cit = pair_counts_.find(
+      PairKey{it->first.src, it->first.dst, it->first.proto});
+  if (cit != pair_counts_.end() && --cit->second == 0) {
+    pair_counts_.erase(cit);
   }
-  return n;
+  return entries_.erase(it);
 }
 
 }  // namespace dnstime::net

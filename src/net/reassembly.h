@@ -57,12 +57,27 @@ class ReassemblyCache {
     bool have_last = false;
     std::size_t total_payload = 0;  ///< known once the MF=0 fragment arrives
   };
+  /// (src,dst,proto) — the granularity the per-pair cap applies at (the
+  /// IPID is what the attacker sprays, so it is *not* part of this key).
+  struct PairKey {
+    Ipv4Addr src, dst;
+    u8 proto;
+    friend auto operator<=>(const PairKey&, const PairKey&) = default;
+  };
 
   std::optional<Ipv4Packet> try_complete(const Key& key, Entry& entry);
   [[nodiscard]] std::size_t count_pair(const Key& key) const;
+  /// Erase an entry and keep pair_counts_ in sync; returns the next
+  /// iterator so expire() can keep sweeping.
+  std::map<Key, Entry>::iterator erase_entry(std::map<Key, Entry>::iterator it);
 
   ReassemblyPolicy policy_;
   std::map<Key, Entry> entries_;
+  /// Incomplete datagrams per endpoint pair, maintained on insert/erase/
+  /// expire. Keeping the count incrementally turns the per-datagram cap
+  /// check from a full-cache scan (O(n²) under a fragment spray) into a
+  /// lookup.
+  std::map<PairKey, std::size_t> pair_counts_;
   u64 completed_ = 0;
   u64 evicted_overflow_ = 0;
   u64 expired_ = 0;

@@ -3,48 +3,84 @@
 // Events at equal timestamps are ordered by insertion sequence, so a
 // scenario replays identically for a fixed RNG seed regardless of container
 // iteration quirks. This determinism is what lets the Table II attack
-// durations be regression-tested.
+// durations be regression-tested. See src/sim/README.md for the full
+// contract.
+//
+// The implementation is built for the campaign engine's hot path
+// (millions of schedule/fire cycles per trial batch):
+//  * a 4-ary implicit heap over a flat vector of 24-byte POD nodes
+//    {time, seq, slot} — shallower than a binary heap, and sift-up/down
+//    shuffle plain values, never callbacks (std::priority_queue::top() is
+//    const, which forced the old loop to deep-copy the callback on every
+//    dispatch);
+//  * callbacks live in a slot pool recycled through a free-list, so each
+//    callback is moved exactly once (caller into slot) and the
+//    steady-state schedule/fire cycle allocates nothing beyond what the
+//    callback capture itself needs;
+//  * slots carry a generation counter that backs cancellation handles —
+//    a stale handle can never touch the slot's next occupant;
+//  * callbacks are SmallFn (src/common/function.h): move-only with a
+//    64-byte inline buffer, so a typical capture (object pointer + packet)
+//    never touches the heap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <limits>
 #include <vector>
 
+#include "common/function.h"
 #include "sim/time.h"
 
 namespace dnstime::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = SmallFn<void()>;
+
+class EventLoop;
 
 /// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-/// stays queued but is skipped when popped.
+/// stays queued but is skipped when popped. Handles are generation-checked:
+/// once the event has fired or been cancelled, the handle goes stale and
+/// cancel() is a no-op even if the internal slot has been recycled for a
+/// newer event. A handle must not outlive its EventLoop (holders in this
+/// codebase all reference the loop through World/Network, which guarantees
+/// the ordering).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+  inline void cancel();
+  /// True while the event is still queued, uncancelled and unfired.
+  [[nodiscard]] inline bool valid() const;
 
  private:
   friend class EventLoop;
-  explicit EventHandle(std::shared_ptr<bool> c) : cancelled_(std::move(c)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(EventLoop* loop, u32 slot, u32 gen)
+      : loop_(loop), slot_(slot), gen_(gen) {}
+
+  EventLoop* loop_ = nullptr;
+  u32 slot_ = 0;
+  u32 gen_ = 0;
 };
 
 class EventLoop {
  public:
+  EventLoop() = default;
+  // Pinned in place: EventHandles hold a pointer back to their loop, so
+  // moving or copying the loop would silently invalidate every
+  // outstanding handle. Deleting these makes the invariant
+  // compiler-checked.
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (clamped to >= now).
   EventHandle schedule_at(Time at, EventFn fn) {
     if (at < now_) at = now_;
-    auto cancelled = std::make_shared<bool>(false);
-    queue_.push(Event{at, seq_++, std::move(fn), cancelled});
-    return EventHandle{cancelled};
+    const u32 slot = acquire_slot(std::move(fn));
+    heap_push(Node{at, seq_++, slot});
+    return EventHandle{this, slot, slots_[slot].gen};
   }
 
   EventHandle schedule_after(Duration d, EventFn fn) {
@@ -54,13 +90,8 @@ class EventLoop {
   /// Run events until the queue drains or `until` is reached. Events at
   /// exactly `until` still run; the clock never advances past `until`.
   void run_until(Time until) {
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (top.at > until) break;
-      Event ev = top;
-      queue_.pop();
-      now_ = ev.at;
-      if (!*ev.cancelled) ev.fn();
+    while (!heap_.empty() && heap_.front().at <= until) {
+      step();
     }
     if (now_ < until) now_ = until;
   }
@@ -69,33 +100,131 @@ class EventLoop {
 
   /// Drain every queued event (useful in unit tests of small exchanges).
   void run_all() {
-    while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      now_ = ev.at;
-      if (!*ev.cancelled) ev.fn();
-    }
+    while (!heap_.empty()) step();
   }
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Queued events, including lazily-cancelled ones not yet popped.
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr u32 kNoSlot = std::numeric_limits<u32>::max();
+  static constexpr std::size_t kArity = 4;
+
+  /// Heap node: trivially copyable, 24 bytes. The callback stays in its
+  /// slot; only these shuffle during sifts.
+  struct Node {
     Time at;
     u64 seq;
+    u32 slot;
+  };
+  /// One in-flight event: the callback plus the cancellation state its
+  /// handle checks. Recycled through a free-list; `gen` increments on
+  /// every release so stale handles can never touch the next occupant.
+  struct Slot {
     EventFn fn;
-    std::shared_ptr<bool> cancelled;
+    u32 gen = 0;
+    u32 next_free = kNoSlot;
+    bool live = false;
+    bool cancelled = false;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  static bool earlier(const Node& a, const Node& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  /// Pop the top event, advance the clock, release the slot, and run the
+  /// callback unless cancelled. The slot is released *before* the callback
+  /// runs, so a callback that schedules may reuse it — generation bumping
+  /// keeps old handles inert.
+  void step() {
+    const Node top = heap_pop();
+    now_ = top.at;
+    const bool cancelled = slots_[top.slot].cancelled;
+    EventFn fn = std::move(slots_[top.slot].fn);
+    release_slot(top.slot);
+    if (!cancelled) fn();
+  }
+
+  u32 acquire_slot(EventFn fn) {
+    u32 s;
+    if (free_head_ != kNoSlot) {
+      s = free_head_;
+      free_head_ = slots_[s].next_free;
+      slots_[s].fn = std::move(fn);
+    } else {
+      s = static_cast<u32>(slots_.size());
+      slots_.push_back(Slot{.fn = std::move(fn)});
     }
-  };
+    slots_[s].live = true;
+    slots_[s].cancelled = false;
+    return s;
+  }
+
+  void release_slot(u32 s) {
+    slots_[s].gen++;
+    slots_[s].live = false;
+    slots_[s].next_free = free_head_;
+    free_head_ = s;
+  }
+
+  void heap_push(Node node) {
+    std::size_t i = heap_.size();
+    heap_.push_back(node);
+    while (i > 0) {
+      std::size_t parent = (i - 1) / kArity;
+      if (!earlier(node, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = node;
+  }
+
+  Node heap_pop() {
+    const Node out = heap_.front();
+    const Node last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      // Sift `last` down from the root, pulling smaller children up into
+      // the hole instead of swapping element pairs.
+      std::size_t i = 0;
+      const std::size_t n = heap_.size();
+      for (;;) {
+        std::size_t first_child = i * kArity + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        std::size_t end = std::min(first_child + kArity, n);
+        for (std::size_t c = first_child + 1; c < end; ++c) {
+          if (earlier(heap_[c], heap_[best])) best = c;
+        }
+        if (!earlier(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return out;
+  }
 
   Time now_;
   u64 seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Node> heap_;
+  std::vector<Slot> slots_;
+  u32 free_head_ = kNoSlot;
 };
+
+inline void EventHandle::cancel() {
+  if (loop_ == nullptr) return;
+  auto& s = loop_->slots_[slot_];
+  if (s.live && s.gen == gen_) s.cancelled = true;
+}
+
+inline bool EventHandle::valid() const {
+  if (loop_ == nullptr) return false;
+  const auto& s = loop_->slots_[slot_];
+  return s.live && s.gen == gen_ && !s.cancelled;
+}
 
 }  // namespace dnstime::sim

@@ -1,8 +1,10 @@
 #include "sim/network.h"
 
+#include <utility>
+
 namespace dnstime::sim {
 
-void Network::send(const net::Ipv4Packet& pkt) {
+void Network::send(net::Ipv4Packet&& pkt) {
   packets_sent_++;
   const LinkProfile& link = profile_for(pkt.src, pkt.dst);
   if (link.loss > 0.0 && rng_.chance(link.loss)) return;
@@ -12,8 +14,10 @@ void Network::send(const net::Ipv4Packet& pkt) {
     delay = delay + Duration::nanos(static_cast<i64>(
                         rng_.uniform(0, static_cast<u64>(link.jitter.ns()))));
   }
-  // Copy the packet into the event; senders may mutate or free theirs.
-  loop_.schedule_after(delay, [this, pkt] {
+  // Move the packet into the event: the payload changes hands once at
+  // send() (the const& overload copies there for senders that keep
+  // theirs), then travels by move through the queue to delivery.
+  loop_.schedule_after(delay, [this, pkt = std::move(pkt)] {
     auto it = sinks_.find(pkt.dst);
     if (it == sinks_.end()) return;  // unreachable host: silent drop
     packets_delivered_++;

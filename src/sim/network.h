@@ -55,8 +55,10 @@ class Network {
   /// Inject a packet into the network. `pkt.src` is taken at face value —
   /// spoofing is permitted by design. Packets to unknown destinations are
   /// silently dropped (like the real Internet, no ICMP host-unreachable is
-  /// guaranteed).
-  void send(const net::Ipv4Packet& pkt);
+  /// guaranteed). The rvalue overload moves the payload into the delivery
+  /// event — the hot path for senders that are done with the packet.
+  void send(net::Ipv4Packet&& pkt);
+  void send(const net::Ipv4Packet& pkt) { send(net::Ipv4Packet{pkt}); }
 
   /// Total packets accepted into the network (pre-loss); used by tests and
   /// by the attack-volume accounting in the benches.

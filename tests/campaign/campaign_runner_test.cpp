@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
+
 #include "campaign/cli.h"
 #include "campaign/trial.h"
 
@@ -203,6 +206,45 @@ TEST(CampaignReport, JsonEscapesControlCharactersInErrors) {
             std::string::npos);
   EXPECT_EQ(json.find('\t'), std::string::npos);
   EXPECT_EQ(json.find('\r'), std::string::npos);
+}
+
+TEST(CampaignRunner, ThrowingProgressCallbackSurfacesAfterRun) {
+  // A progress callback that throws must not std::terminate the process
+  // (it used to escape a worker thread); the first exception is rethrown
+  // from run() after the pool joins.
+  std::vector<ScenarioSpec> scenarios{synthetic_scenario("synthetic/mc")};
+  CampaignRunner runner({.seed = 3, .trials = 4, .threads = 2});
+  std::atomic<int> calls{0};
+  runner.set_progress([&](const ScenarioSpec&, const TrialResult& r) {
+    // The result must already be fully stored when we observe it.
+    EXPECT_FALSE(r.seed == 0);
+    if (++calls == 2) throw std::runtime_error("progress boom");
+  });
+  EXPECT_THROW((void)runner.run(scenarios), std::runtime_error);
+  EXPECT_GE(calls.load(), 2);
+}
+
+TEST(CampaignReport, NonFiniteMetricsEmitNullNotNan) {
+  // %.6g prints nan/inf, which is not JSON: one non-finite trial metric
+  // used to corrupt the whole report for every downstream parser.
+  ScenarioSpec spec = synthetic_scenario("synthetic/nonfinite");
+  std::vector<TrialResult> results(2);
+  results[0].trial = 0;
+  results[0].success = true;
+  results[0].duration_s = std::numeric_limits<double>::infinity();
+  results[0].metric = std::numeric_limits<double>::quiet_NaN();
+  results[1].trial = 1;
+  results[1].metric = 0.25;
+
+  CampaignReport report;
+  report.seed = 1;
+  report.trials_per_scenario = 2;
+  report.scenarios.push_back(ScenarioAggregate::from_results(spec, results));
+  std::string json = report.to_json();
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"metric\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"duration_s\":null"), std::string::npos) << json;
 }
 
 TEST(CampaignReport, AggregatesAndJsonShape) {

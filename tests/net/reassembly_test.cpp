@@ -120,6 +120,70 @@ TEST(Reassembly, WindowsPolicyAllows100) {
   EXPECT_EQ(cache.pending_datagrams(), 100u);
 }
 
+TEST(Reassembly, PairCapSlotsFreeOnExpiryAndCompletion) {
+  // The per-pair cap is enforced with an incrementally-maintained counter
+  // (the old full-cache scan made a fragment spray O(n²)); this pins the
+  // counter to the cache contents across every path that removes entries.
+  ReassemblyCache cache(ReassemblyPolicy{
+      .timeout = Duration::seconds(30), .max_datagrams_per_pair = 4});
+  auto base = fragment(packet_of_size(400), 296);
+
+  // Fill the pair to its cap with incomplete datagrams.
+  for (u16 id = 0; id < 6; ++id) {
+    Ipv4Packet f = base[1];
+    f.id = id;
+    EXPECT_FALSE(cache.insert(f, Time{}));
+  }
+  EXPECT_EQ(cache.pending_datagrams(), 4u);
+  EXPECT_EQ(cache.evicted_overflow(), 2u);
+
+  // Expiry must release the slots, not just the entries.
+  cache.expire(Time{} + Duration::seconds(30));
+  EXPECT_EQ(cache.pending_datagrams(), 0u);
+  EXPECT_EQ(cache.expired(), 4u);
+  for (u16 id = 10; id < 14; ++id) {
+    Ipv4Packet f = base[1];
+    f.id = id;
+    EXPECT_FALSE(cache.insert(f, Time{} + Duration::seconds(31)));
+  }
+  EXPECT_EQ(cache.pending_datagrams(), 4u);
+  EXPECT_EQ(cache.evicted_overflow(), 2u);  // cap free again: no new evictions
+
+  // Completion must release a slot too: finish one datagram, and the freed
+  // slot accepts a fresh incomplete datagram without an overflow eviction.
+  Time later = Time{} + Duration::seconds(62);
+  cache.expire(later);  // clean slate
+  auto frags = fragment(packet_of_size(400, 99), 296);
+  EXPECT_FALSE(cache.insert(frags[0], later));
+  ASSERT_TRUE(cache.insert(frags[1], later));
+  EXPECT_EQ(cache.pending_datagrams(), 0u);
+  Ipv4Packet fresh = base[1];
+  fresh.id = 77;
+  EXPECT_FALSE(cache.insert(fresh, later));
+  EXPECT_EQ(cache.pending_datagrams(), 1u);
+  EXPECT_EQ(cache.evicted_overflow(), 2u);
+}
+
+TEST(Reassembly, PairCountsAreIndependentPerPair) {
+  ReassemblyCache cache(ReassemblyPolicy{.max_datagrams_per_pair = 2});
+  auto base = fragment(packet_of_size(400), 296);
+  for (u16 id = 0; id < 4; ++id) {
+    Ipv4Packet f = base[1];
+    f.id = id;
+    (void)cache.insert(f, Time{});
+  }
+  EXPECT_EQ(cache.pending_datagrams(), 2u);  // pair A at cap
+  // A different source address is a different pair with its own budget.
+  for (u16 id = 0; id < 2; ++id) {
+    Ipv4Packet f = base[1];
+    f.src = Ipv4Addr{10, 0, 0, 9};
+    f.id = id;
+    EXPECT_FALSE(cache.insert(f, Time{}));
+  }
+  EXPECT_EQ(cache.pending_datagrams(), 4u);
+  EXPECT_EQ(cache.evicted_overflow(), 2u);
+}
+
 TEST(Reassembly, HoleBlocksCompletion) {
   ReassemblyCache cache;
   auto frags = fragment(packet_of_size(900), 296);

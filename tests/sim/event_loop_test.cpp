@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace dnstime::sim {
@@ -67,6 +68,139 @@ TEST(EventLoop, PastScheduledEventClampsToNow) {
   loop.schedule_at(Time::from_ns(1), [&] { ran = true; });
   loop.run_for(Duration::seconds(1));
   EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, ClampedEventRunsAtNowNotInThePast) {
+  EventLoop loop;
+  loop.run_until(Time::from_ns(Duration::seconds(10).ns()));
+  Time fired_at;
+  loop.schedule_at(Time::from_ns(1), [&] { fired_at = loop.now(); });
+  loop.run_all();
+  EXPECT_EQ(fired_at, Time::from_ns(Duration::seconds(10).ns()));
+  EXPECT_EQ(loop.now(), fired_at);  // the clock never moved backwards
+}
+
+TEST(EventLoop, FifoAtEqualTimestampsSurvivesHeapRebuilds) {
+  // Equal-timestamp FIFO is the determinism contract's hard part: pops and
+  // interleaved pushes reshuffle the heap, and any comparison that ignores
+  // the sequence number reorders ties. Build a worst case: ties scheduled
+  // in several batches, separated by pops that force sift-downs.
+  EventLoop loop;
+  std::vector<int> order;
+  int tag = 0;
+  for (int batch = 0; batch < 4; ++batch) {
+    // Earlier filler events whose pops rebuild the heap below the ties.
+    for (int i = 0; i < 7; ++i) {
+      loop.schedule_after(Duration::seconds(1 + i), [] {});
+    }
+    for (int i = 0; i < 25; ++i) {
+      loop.schedule_at(Time::from_ns(Duration::minutes(5).ns()),
+                       [&order, t = tag++] { order.push_back(t); });
+    }
+    loop.run_until(loop.now() + Duration::seconds(10));
+  }
+  loop.run_all();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, StaleHandleCannotCancelRecycledSlot) {
+  EventLoop loop;
+  bool first_ran = false;
+  bool second_ran = false;
+  EventHandle h1 =
+      loop.schedule_after(Duration::seconds(1), [&] { first_ran = true; });
+  EXPECT_TRUE(h1.valid());
+  loop.run_for(Duration::seconds(2));
+  EXPECT_TRUE(first_ran);
+  EXPECT_FALSE(h1.valid());  // fired: handle is stale
+
+  // The fired event's slot is recycled for the next schedule; the stale
+  // handle must be inert against the new occupant.
+  EventHandle h2 =
+      loop.schedule_after(Duration::seconds(1), [&] { second_ran = true; });
+  h1.cancel();
+  EXPECT_TRUE(h2.valid());
+  loop.run_all();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventLoop, CancelledHandleStaysInertAfterSlotReuse) {
+  EventLoop loop;
+  bool victim_ran = false;
+  EventHandle h = loop.schedule_after(Duration::seconds(1), [] {});
+  h.cancel();
+  EXPECT_FALSE(h.valid());
+  loop.run_all();  // pops the cancelled event, releasing its slot
+  loop.schedule_after(Duration::seconds(1), [&] { victim_ran = true; });
+  h.cancel();  // double-cancel on a recycled slot
+  loop.run_all();
+  EXPECT_TRUE(victim_ran);
+}
+
+TEST(EventLoop, CancelFromInsideAnEarlierEvent) {
+  EventLoop loop;
+  bool ran = false;
+  EventHandle h =
+      loop.schedule_after(Duration::seconds(2), [&] { ran = true; });
+  loop.schedule_after(Duration::seconds(1), [&] { h.cancel(); });
+  loop.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.now().to_seconds(), 2.0);  // cancelled pop still advances
+}
+
+TEST(EventLoop, RunUntilIncludesEventsExactlyAtBoundary) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_after(Duration::seconds(5), [&] { ran++; });
+  loop.schedule_after(Duration::seconds(5) + Duration::nanos(1),
+                      [&] { ran++; });
+  loop.run_until(Time::from_ns(Duration::seconds(5).ns()));
+  EXPECT_EQ(ran, 1);  // at-boundary runs, past-boundary waits
+  EXPECT_EQ(loop.now(), Time::from_ns(Duration::seconds(5).ns()));
+  loop.run_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoop, HandleLifecycleAcrossSchedulingBursts) {
+  // Churn through many schedule/fire/cancel cycles so slots recycle
+  // repeatedly, and verify the loop never misfires or double-fires.
+  EventLoop loop;
+  int fired = 0;
+  std::vector<EventHandle> cancelled;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      loop.schedule_after(Duration::millis(10 * (i + 1)), [&] { fired++; });
+      cancelled.push_back(
+          loop.schedule_after(Duration::millis(5 * (i + 1)), [&] {
+            ADD_FAILURE() << "cancelled event fired";
+          }));
+    }
+    for (EventHandle& h : cancelled) h.cancel();
+    cancelled.clear();
+    loop.run_for(Duration::seconds(1));
+    EXPECT_EQ(loop.pending(), 0u);
+  }
+  EXPECT_EQ(fired, 50 * 8);
+}
+
+TEST(EventLoop, MoveOnlyCallbacksAreSupported) {
+  // EventFn is move-only with small-buffer optimisation: a unique_ptr
+  // capture (uncopyable) and an oversized capture must both work.
+  EventLoop loop;
+  int out = 0;
+  auto owned = std::make_unique<int>(41);
+  loop.schedule_after(Duration::seconds(1),
+                      [p = std::move(owned), &out] { out = *p + 1; });
+  struct Big {
+    char pad[200] = {};
+  };
+  bool big_ran = false;
+  loop.schedule_after(Duration::seconds(2),
+                      [big = Big{}, &big_ran] { big_ran = big.pad[0] == 0; });
+  loop.run_all();
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(big_ran);
 }
 
 }  // namespace
