@@ -8,6 +8,12 @@
 // — is the reproduced shape.
 //
 // Usage: bench_table2_attack_duration [--trials N] [--threads T] [--seed S]
+//                                     [--journal DIR] [--resume]
+//                                     [--out PATH] [--json]
+//   stdout stays the human paper-comparison; --out PATH writes the
+//   campaign report to a file (--json selects JSON format), while --json
+//   alone appends the JSON report as the final stdout line (pipe through
+//   `tail -1` for machine consumption, like the CI smokes do).
 #include <cstdio>
 #include <cstring>
 
@@ -26,7 +32,13 @@ int main(int argc, char** argv) {
   bench::header("Table II - Run-time attack duration against clients");
   campaign::CampaignRunner runner(opts.config);
   auto scenarios = campaign::ScenarioRegistry::builtin().select("table2/");
-  campaign::CampaignReport report = runner.run(scenarios);
+  campaign::CampaignReport report;
+  try {
+    report = runner.run(scenarios);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
 
   struct Row {
     const char* scenario;
@@ -65,5 +77,9 @@ int main(int argc, char** argv) {
       "  duration quantiles:\n\n%s",
       static_cast<unsigned long long>(report.seed),
       report.trials_per_scenario, report.to_table().c_str());
+  if ((!opts.out.empty() || opts.json) &&
+      !campaign::write_report(opts, report)) {
+    return 1;
+  }
   return 0;
 }

@@ -5,6 +5,12 @@
 // whose trials sample independent batches, fanned out by CampaignRunner.
 //
 // Usage: bench_table3_probabilities [--trials N] [--threads T] [--seed S]
+//                                   [--journal DIR] [--resume]
+//                                   [--out PATH] [--json]
+//   stdout stays the human paper-comparison; --out PATH writes the
+//   campaign report to a file (--json selects JSON format), while --json
+//   alone appends the JSON report as the final stdout line (pipe through
+//   `tail -1` for machine consumption, like the CI smokes do).
 #include <cstdio>
 
 #include "analysis/probability.h"
@@ -62,7 +68,13 @@ int main(int argc, char** argv) {
   scenarios.reserve(rows.size());
   for (const auto& row : rows) scenarios.push_back(row_scenario(row));
   campaign::CampaignRunner runner(opts.config);
-  campaign::CampaignReport report = runner.run(scenarios);
+  campaign::CampaignReport report;
+  try {
+    report = runner.run(scenarios);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("  %2s %2s | %8s %8s | %8s %8s | %10s\n", "m", "n", "P1 paper",
               "P1 ours", "P2 paper", "P2 ours", "P2 MonteCarlo");
@@ -76,5 +88,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\n  Shape checks: P2 >= P1 everywhere; both shrink as m grows;\n"
       "  choosing which servers to remove (P2) helps most at odd m.\n");
+  if ((!opts.out.empty() || opts.json) &&
+      !campaign::write_report(opts, report)) {
+    return 1;
+  }
   return 0;
 }

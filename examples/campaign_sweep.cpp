@@ -3,9 +3,13 @@
 // over a worker pool, aggregated into one deterministic report.
 //
 // Usage: example_campaign_sweep [--trials N] [--threads T] [--seed S]
+//                               [--journal DIR] [--resume] [--out PATH]
 //                               [--filter PREFIX] [--json]
 //   --filter selects scenarios by name prefix (default "sweep/");
-//   --json additionally prints the machine-readable report to stdout.
+//   --json prints the machine-readable report instead of the table;
+//   --out writes the report to a file instead of stdout;
+//   --journal streams every trial into an on-disk shard journal and
+//   --resume continues a journaled campaign that was killed partway.
 #include <cstdio>
 #include <string>
 
@@ -30,9 +34,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("campaign: %zu scenario(s) x %u trial(s), seed %llu\n\n",
-              scenarios.size(), opts.config.trials,
-              static_cast<unsigned long long>(opts.config.seed));
+  // Banner and progress go to stderr: with --json, stdout is exactly one
+  // parseable report.
+  std::fprintf(stderr, "campaign: %zu scenario(s) x %u trial(s), seed %llu\n\n",
+               scenarios.size(), opts.config.trials,
+               static_cast<unsigned long long>(opts.config.seed));
   campaign::CampaignRunner runner(opts.config);
   u32 done = 0;
   const u32 total = static_cast<u32>(scenarios.size()) * opts.config.trials;
@@ -42,15 +48,22 @@ int main(int argc, char** argv) {
                  spec.name.c_str(), r.trial,
                  !r.error.empty() ? "ERROR" : r.success ? "ok" : "no-shift");
   });
-  campaign::CampaignReport report = runner.run(scenarios);
+  campaign::CampaignReport report;
+  try {
+    report = runner.run(scenarios);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
 
-  std::printf("%s\n", report.to_table().c_str());
-  std::printf(
-      "The sweep's shape mirrors the paper: fragmentation needs a small\n"
-      "attack MTU, the run-time attack leans on the rate-limiting\n"
-      "fraction, and shorter pool TTLs shrink the poisoning window.\n");
-  if (opts.json) {
-    std::printf("%s\n", report.to_json().c_str());
+  if (opts.out.empty() && !opts.json) {
+    std::printf("%s\n", report.to_table().c_str());
+    std::printf(
+        "The sweep's shape mirrors the paper: fragmentation needs a small\n"
+        "attack MTU, the run-time attack leans on the rate-limiting\n"
+        "fraction, and shorter pool TTLs shrink the poisoning window.\n");
+  } else if (!campaign::write_report(opts, report)) {
+    return 1;
   }
   return 0;
 }

@@ -1,15 +1,34 @@
 #include "campaign/cli.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace dnstime::campaign {
 namespace {
 
 void usage(const char* prog, bool scenario_flags) {
-  std::fprintf(stderr, "usage: %s [--trials N] [--threads T] [--seed S]%s\n",
-               prog, scenario_flags ? " [--filter PREFIX] [--json]" : "");
+  std::fprintf(stderr,
+               "usage: %s [--trials N] [--threads T] [--seed S]\n"
+               "       [--journal DIR] [--resume] [--out PATH] [--json]%s\n",
+               prog, scenario_flags ? " [--filter PREFIX]" : "");
+}
+
+/// Strict unsigned-decimal token parse. std::strtoull alone accepts
+/// leading whitespace, '+'/'-' (negatives wrap around!) and stops at
+/// trailing junk — all of which must be errors for a flag value.
+bool parse_u64_token(const char* s, u64& out) {
+  if (s == nullptr || *s == '\0') return false;
+  if (!std::isdigit(static_cast<unsigned char>(*s))) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || *end != '\0') return false;
+  out = v;
+  return true;
 }
 
 }  // namespace
@@ -17,41 +36,114 @@ void usage(const char* prog, bool scenario_flags) {
 CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
                      bool scenario_flags) {
   CliOptions opts = std::move(defaults);
+  // Call sites print their own (literal, compiler-checked) message first,
+  // then `return fail();` to append the usage line and flag the error.
+  auto fail = [&]() -> CliOptions& {
+    usage(argv[0], scenario_flags);
+    opts.ok = false;
+    return opts;
+  };
   for (int i = 1; i < argc; ++i) {
     const char* flag = argv[i];
-    if (scenario_flags && std::strcmp(flag, "--json") == 0) {
+    if (std::strcmp(flag, "--json") == 0) {
       opts.json = true;
+      continue;
+    }
+    if (std::strcmp(flag, "--resume") == 0) {
+      opts.config.resume = true;
       continue;
     }
     const bool takes_value =
         std::strcmp(flag, "--trials") == 0 ||
         std::strcmp(flag, "--threads") == 0 ||
         std::strcmp(flag, "--seed") == 0 ||
+        std::strcmp(flag, "--journal") == 0 ||
+        std::strcmp(flag, "--out") == 0 ||
         (scenario_flags && std::strcmp(flag, "--filter") == 0);
     if (!takes_value) {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], flag);
-      usage(argv[0], scenario_flags);
-      opts.ok = false;
-      return opts;
+      return fail();
     }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s: flag '%s' requires a value\n", argv[0], flag);
-      usage(argv[0], scenario_flags);
-      opts.ok = false;
-      return opts;
+      return fail();
     }
     const char* value = argv[++i];
+    u64 parsed = 0;
     if (std::strcmp(flag, "--trials") == 0) {
-      opts.config.trials = static_cast<u32>(std::atoi(value));
+      if (!parse_u64_token(value, parsed) || parsed == 0 ||
+          parsed > std::numeric_limits<u32>::max()) {
+        std::fprintf(stderr,
+                     "%s: invalid value '%s' for flag '--trials' "
+                     "(want an integer in 1..4294967295)\n",
+                     argv[0], value);
+        return fail();
+      }
+      opts.config.trials = static_cast<u32>(parsed);
     } else if (std::strcmp(flag, "--threads") == 0) {
-      opts.config.threads = static_cast<u32>(std::atoi(value));
+      if (!parse_u64_token(value, parsed) ||
+          parsed > std::numeric_limits<u32>::max()) {
+        std::fprintf(stderr,
+                     "%s: invalid value '%s' for flag '--threads' "
+                     "(want an unsigned integer; 0 = all cores, "
+                     "capped at 1024)\n",
+                     argv[0], value);
+        return fail();
+      }
+      opts.config.threads = static_cast<u32>(parsed);
     } else if (std::strcmp(flag, "--seed") == 0) {
-      opts.config.seed = static_cast<u64>(std::atoll(value));
+      if (!parse_u64_token(value, parsed)) {
+        std::fprintf(stderr,
+                     "%s: invalid value '%s' for flag '--seed' "
+                     "(want an unsigned 64-bit integer)\n",
+                     argv[0], value);
+        return fail();
+      }
+      opts.config.seed = parsed;
+    } else if (std::strcmp(flag, "--journal") == 0) {
+      opts.config.journal_dir = value;
+    } else if (std::strcmp(flag, "--out") == 0) {
+      opts.out = value;
     } else {
       opts.filter = value;
     }
   }
+  if (opts.config.resume && opts.config.journal_dir.empty()) {
+    std::fprintf(stderr, "%s: '--resume' requires '--journal DIR'\n",
+                 argv[0]);
+    return fail();
+  }
   return opts;
+}
+
+bool write_report(const CliOptions& opts, const CampaignReport& report) {
+  // Journaled runs carry no per-trial rows in memory — the shards hold
+  // them — so their JSON serialises aggregates only. This also keeps the
+  // output comparable across journaled runs, resumes and thread counts.
+  const bool include_trials = opts.config.journal_dir.empty();
+  std::string text =
+      opts.json ? report.to_json(include_trials) + "\n" : report.to_table();
+  if (opts.out.empty()) {
+    if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size()) {
+      std::fprintf(stderr, "failed writing report to stdout\n");
+      return false;
+    }
+    return true;
+  }
+  std::FILE* f = std::fopen(opts.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing: %s\n",
+                 opts.out.c_str(), std::strerror(errno));
+    return false;
+  }
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) ==
+                     text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "failed writing report to '%s'\n", opts.out.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dnstime::campaign

@@ -1,7 +1,9 @@
 // Shared command-line parsing for campaign-driven binaries (benches and
 // examples), so every tool accepts the same flags with the same error
-// behaviour: unknown flags and missing values are reported, not silently
-// skipped.
+// behaviour: unknown flags, missing values and malformed numbers are
+// reported, not silently skipped or zeroed. Because journaling lives in
+// CampaignConfig, --journal/--resume give every campaign tool
+// crash-resumable persistence with no bespoke flag code.
 #pragma once
 
 #include <string>
@@ -13,16 +15,29 @@ namespace dnstime::campaign {
 struct CliOptions {
   CampaignConfig config;
   std::string filter;  ///< scenario name prefix (tools define the default)
+  std::string out;     ///< --out: report destination path ("" = stdout)
   bool json = false;
   bool ok = true;  ///< false => a parse error was printed to stderr
 };
 
-/// Parses --trials N, --threads T, --seed S and (when
-/// `scenario_flags` is set) --filter PREFIX and --json. `defaults`
-/// seeds the returned options. On any unknown flag or missing value,
-/// prints a usage line to stderr and returns ok = false.
+/// Parses the shared campaign flags: --trials N, --threads T, --seed S,
+/// --journal DIR, --resume, --out PATH, --json and (when `scenario_flags`
+/// is set) --filter PREFIX. `defaults` seeds the returned options.
+/// Numeric values must be full unsigned-decimal tokens in range — garbage,
+/// trailing junk, negatives and overflow are reported like unknown flags
+/// (never silently parsed as 0), and --trials additionally rejects 0.
+/// On any error, prints the problem and a usage line to stderr and
+/// returns ok = false.
 [[nodiscard]] CliOptions parse_cli(int argc, char** argv,
                                    CliOptions defaults,
                                    bool scenario_flags = false);
+
+/// Writes the report — to_json() when opts.json, to_table() otherwise —
+/// to opts.out, or stdout when opts.out is empty. Journaled campaigns
+/// (config.journal_dir set) serialise aggregates only: the per-trial rows
+/// live in the journal and store::read_report() rebuilds them. Returns
+/// false (with a message on stderr) on I/O failure.
+[[nodiscard]] bool write_report(const CliOptions& opts,
+                                const CampaignReport& report);
 
 }  // namespace dnstime::campaign

@@ -2,9 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
-
-#include "common/histogram.h"
-#include "common/stats.h"
+#include <utility>
 
 namespace dnstime::campaign {
 namespace {
@@ -42,39 +40,55 @@ void json_escape_into(std::string& out, const std::string& s) {
 
 ScenarioAggregate ScenarioAggregate::from_results(
     const ScenarioSpec& spec, std::vector<TrialResult> results) {
-  ScenarioAggregate agg;
-  agg.name = spec.name;
-  agg.attack = to_string(spec.attack);
-  agg.trials = static_cast<u32>(results.size());
+  ScenarioAggregateBuilder builder(spec.name, to_string(spec.attack),
+                                   /*keep_results=*/true);
+  for (TrialResult& r : results) builder.add(std::move(r));
+  return std::move(builder).finish();
+}
 
-  EmpiricalCdf durations;
-  std::vector<double> success_durations;
-  std::vector<double> shifts;
-  std::vector<double> metrics;
-  for (const TrialResult& r : results) {
-    if (!r.error.empty()) agg.errors++;
-    if (r.success) {
-      agg.successes++;
-      durations.add(r.duration_s);
-      success_durations.push_back(r.duration_s);
-      shifts.push_back(r.clock_shift_s);
-    }
-    metrics.push_back(r.metric);
-    agg.fragments_total += r.fragments_planted;
+ScenarioAggregateBuilder::ScenarioAggregateBuilder(std::string name,
+                                                   std::string attack,
+                                                   bool keep_results)
+    : keep_results_(keep_results) {
+  agg_.name = std::move(name);
+  agg_.attack = std::move(attack);
+}
+
+void ScenarioAggregateBuilder::add(TrialResult r) {
+  agg_.trials++;
+  if (!r.error.empty()) agg_.errors++;
+  if (r.success) {
+    agg_.successes++;
+    durations_.add(r.duration_s);
+    duration_sum_ += r.duration_s;
+    shift_sum_ += r.clock_shift_s;
   }
-  if (agg.trials > 0) {
-    agg.success_rate =
-        static_cast<double>(agg.successes) / static_cast<double>(agg.trials);
+  metric_sum_ += r.metric;
+  agg_.fragments_total += r.fragments_planted;
+  if (keep_results_) agg_.results.push_back(std::move(r));
+}
+
+ScenarioAggregate ScenarioAggregateBuilder::finish() && {
+  if (agg_.trials > 0) {
+    agg_.success_rate =
+        static_cast<double>(agg_.successes) / static_cast<double>(agg_.trials);
   }
-  if (durations.size() > 0) {
-    agg.duration_p50_s = durations.quantile(0.5);
-    agg.duration_p90_s = durations.quantile(0.9);
+  if (durations_.size() > 0) {
+    agg_.duration_p50_s = durations_.quantile(0.5);
+    agg_.duration_p90_s = durations_.quantile(0.9);
   }
-  agg.duration_mean_s = mean(success_durations);
-  agg.shift_mean_s = mean(shifts);
-  agg.metric_mean = mean(metrics);
-  agg.results = std::move(results);
-  return agg;
+  // Left-to-right running sums over trial-index order: bit-identical to the
+  // mean() over trial-ordered vectors the batch path historically computed.
+  agg_.duration_mean_s =
+      agg_.successes > 0
+          ? duration_sum_ / static_cast<double>(agg_.successes)
+          : 0.0;
+  agg_.shift_mean_s =
+      agg_.successes > 0 ? shift_sum_ / static_cast<double>(agg_.successes)
+                         : 0.0;
+  agg_.metric_mean =
+      agg_.trials > 0 ? metric_sum_ / static_cast<double>(agg_.trials) : 0.0;
+  return std::move(agg_);
 }
 
 std::string CampaignReport::to_json(bool include_trials) const {

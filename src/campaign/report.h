@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "campaign/scenario_spec.h"
+#include "common/histogram.h"
 
 namespace dnstime::campaign {
 
@@ -29,12 +30,43 @@ struct ScenarioAggregate {
   double shift_mean_s = 0.0;   ///< mean final clock offset, successful trials
   double metric_mean = 0.0;    ///< mean scenario-defined metric, all trials
   u64 fragments_total = 0;
-  std::vector<TrialResult> results;  ///< trial-index order
+  /// Trial-index order. Empty when the campaign was journaled: the shards
+  /// hold the per-trial rows and store::read_report() rebuilds them.
+  std::vector<TrialResult> results;
 
-  /// Builds the aggregate from trial-ordered results (reuses
-  /// common/stats.h means and common/histogram.h EmpiricalCdf quantiles).
+  /// Builds the aggregate from trial-ordered results (a batch wrapper
+  /// around ScenarioAggregateBuilder).
   [[nodiscard]] static ScenarioAggregate from_results(
       const ScenarioSpec& spec, std::vector<TrialResult> results);
+};
+
+/// Streaming fold producing a ScenarioAggregate: feed TrialResults in
+/// trial-index order, then call finish() once. from_results() and the
+/// journal merge (campaign/store/journal_reader.h) both fold through this
+/// builder — sharing the exact accumulation sequence is what makes a
+/// report rebuilt from shards byte-identical to the in-memory one.
+class ScenarioAggregateBuilder {
+ public:
+  /// `keep_results` retains every TrialResult inside the aggregate (the
+  /// in-memory runner path and store::read_report). Aggregate-only folds
+  /// pass false and hold O(1) state per trial plus the success-duration
+  /// samples that exact p50/p90 quantiles require.
+  ScenarioAggregateBuilder(std::string name, std::string attack,
+                           bool keep_results);
+
+  /// Must be called in trial-index order: floating-point accumulation
+  /// order is part of the byte-identity contract.
+  void add(TrialResult r);
+
+  [[nodiscard]] ScenarioAggregate finish() &&;
+
+ private:
+  ScenarioAggregate agg_;
+  EmpiricalCdf durations_;  ///< successful trials only
+  double duration_sum_ = 0.0;
+  double shift_sum_ = 0.0;
+  double metric_sum_ = 0.0;
+  bool keep_results_;
 };
 
 struct CampaignReport {

@@ -2,49 +2,59 @@
 
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
+#include "campaign/store/journal.h"
+#include "campaign/store/journal_reader.h"
+#include "campaign/store/shard_writer.h"
 #include "campaign/trial.h"
 #include "common/rng.h"
 
 namespace dnstime::campaign {
-namespace {
-
-/// FNV-1a over the scenario name: the scenario's contribution to a trial
-/// seed depends on its identity, not its position in the campaign.
-u64 name_hash(const std::string& name) {
-  u64 h = 0xCBF29CE484222325ull;
-  for (unsigned char c : name) {
-    h ^= c;
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
-}  // namespace
 
 u64 CampaignRunner::trial_seed(u64 campaign_seed, const ScenarioSpec& scenario,
                                u32 trial) {
-  return mix_seed(campaign_seed, name_hash(scenario.name), trial);
+  // FNV-1a over the scenario name (the same hash that keys journal
+  // records): the scenario's contribution to a trial seed depends on its
+  // identity, not its position in the campaign.
+  return mix_seed(campaign_seed, store::fnv1a(scenario.name), trial);
 }
 
-CampaignReport CampaignRunner::run(
-    const std::vector<ScenarioSpec>& scenarios) const {
+u32 CampaignRunner::resolve_threads(std::size_t pending) const {
+  u32 threads = config_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Oversubscription is harmless (reports never depend on the pool size),
+  // but an absurd request would burn through OS threads — and one shard
+  // writer each — before failing with EAGAIN; 1024 workers saturates any
+  // realistic host.
+  constexpr u32 kMaxThreads = 1024;
+  threads = std::min(threads, kMaxThreads);
+  return static_cast<u32>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(pending, 1)));
+}
+
+void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
+                             const std::vector<u8>* skip, u32 threads,
+                             const TrialSink& sink) const {
   const u32 trials = config_.trials;
   const std::size_t total = scenarios.size() * trials;
 
-  // One pre-sized slot per (scenario, trial): workers write disjoint slots,
-  // so the only synchronisation the results need is the final join.
-  std::vector<std::vector<TrialResult>> results(scenarios.size());
-  for (auto& slot : results) slot.resize(trials);
-
   std::atomic<std::size_t> next{0};
-  std::mutex progress_mutex;
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;  // serialises progress_ and the error slots
+  std::exception_ptr sink_error;      // first throw from sink, if any
   std::exception_ptr progress_error;  // first throw from progress_, if any
-  auto worker = [&] {
+  auto worker = [&](u32 worker_id) {
     for (std::size_t i = next.fetch_add(1); i < total;
          i = next.fetch_add(1)) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      if (skip != nullptr && (*skip)[i] != 0) continue;
       const std::size_t scenario_idx = i / trials;
       const u32 trial_idx = static_cast<u32>(i % trials);
       const ScenarioSpec& spec = scenarios[scenario_idx];
@@ -66,12 +76,22 @@ CampaignReport CampaignRunner::run(
       }
       // Store the result before notifying: a throwing or slow progress
       // callback must never lose (or observe a not-yet-stored) trial.
-      results[scenario_idx][trial_idx] = std::move(result);
+      const TrialResult* stored = nullptr;
+      try {
+        stored = &sink(worker_id, scenario_idx, trial_idx, std::move(result));
+      } catch (...) {
+        // A sink failure (e.g. journal disk full) means results are being
+        // lost: stop the campaign and rethrow from run() after the join.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!sink_error) sink_error = std::current_exception();
+        abort.store(true);
+        return;
+      }
       if (progress_) {
-        std::lock_guard<std::mutex> lock(progress_mutex);
+        std::lock_guard<std::mutex> lock(error_mutex);
         if (!progress_error) {
           try {
-            progress_(spec, results[scenario_idx][trial_idx]);
+            progress_(spec, *stored);
           } catch (...) {
             // An escaping exception on a worker thread would terminate the
             // process; capture the first one and rethrow it from run()
@@ -84,21 +104,40 @@ CampaignReport CampaignRunner::run(
     }
   };
 
-  u32 threads = config_.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<u32>(
-      std::min<std::size_t>(threads, std::max<std::size_t>(total, 1)));
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (u32 t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (u32 t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& t : pool) t.join();
   }
+  if (sink_error) std::rethrow_exception(sink_error);
   if (progress_error) std::rethrow_exception(progress_error);
+}
+
+CampaignReport CampaignRunner::run(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  return config_.journal_dir.empty() ? run_in_memory(scenarios)
+                                     : run_journaled(scenarios);
+}
+
+CampaignReport CampaignRunner::run_in_memory(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  const u32 trials = config_.trials;
+
+  // One pre-sized slot per (scenario, trial): workers write disjoint slots,
+  // so the only synchronisation the results need is the final join.
+  std::vector<std::vector<TrialResult>> results(scenarios.size());
+  for (auto& slot : results) slot.resize(trials);
+
+  execute(scenarios, /*skip=*/nullptr,
+          resolve_threads(scenarios.size() * trials),
+          [&results](u32, std::size_t scenario_idx, u32 trial_idx,
+                     TrialResult&& r) -> const TrialResult& {
+            results[scenario_idx][trial_idx] = std::move(r);
+            return results[scenario_idx][trial_idx];
+          });
 
   CampaignReport report;
   report.seed = config_.seed;
@@ -107,6 +146,144 @@ CampaignReport CampaignRunner::run(
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     report.scenarios.push_back(
         ScenarioAggregate::from_results(scenarios[i], std::move(results[i])));
+  }
+  return report;
+}
+
+CampaignReport CampaignRunner::run_journaled(
+    const std::vector<ScenarioSpec>& scenarios) const {
+  namespace fs = std::filesystem;
+  const u32 trials = config_.trials;
+  const std::size_t total = scenarios.size() * trials;
+  const std::string& dir = config_.journal_dir;
+
+  const store::JournalMeta meta =
+      store::JournalMeta::describe(config_.seed, trials, scenarios);
+  {
+    // Fail before running (or journaling) anything: records are keyed by
+    // scenario-name hash, so duplicate names — legal nowhere, but only
+    // caught lazily on the in-memory path — would make the journal
+    // unreadable after hours of work instead of erroring now.
+    std::unordered_map<u64, const std::string*> names;
+    names.reserve(meta.scenarios.size());
+    for (const store::JournalMeta::Scenario& s : meta.scenarios) {
+      auto [it, inserted] = names.emplace(store::fnv1a(s.name), &s.name);
+      if (!inserted) {
+        throw std::invalid_argument(
+            "cannot journal campaign: scenario name '" + s.name +
+            (*it->second == s.name ? "' is duplicated"
+                                   : "' hash-collides with '" +
+                                         *it->second + "'"));
+      }
+    }
+  }
+  fs::create_directories(dir);
+
+  store::JournalScan scan = store::scan_journal(dir);
+  if (!scan.shards.empty() && !config_.resume) {
+    throw std::runtime_error(
+        "journal directory '" + dir +
+        "' already contains shards; pass resume (--resume) to continue "
+        "that campaign or point --journal at a fresh directory");
+  }
+
+  std::vector<u8> skip;
+  std::size_t done = 0;
+  u32 next_shard_id = 0;
+  for (const store::ShardState& st : scan.shards) {
+    next_shard_id = std::max(next_shard_id, st.shard_id + 1);
+  }
+  if (config_.resume && scan.found) {
+    if (scan.meta.campaign_seed != meta.campaign_seed) {
+      throw std::runtime_error(
+          "cannot resume: journal '" + dir + "' was written with seed " +
+          std::to_string(scan.meta.campaign_seed) + ", this campaign uses " +
+          std::to_string(meta.campaign_seed));
+    }
+    if (scan.meta.trials_per_scenario != meta.trials_per_scenario) {
+      throw std::runtime_error(
+          "cannot resume: journal '" + dir + "' ran " +
+          std::to_string(scan.meta.trials_per_scenario) +
+          " trials/scenario, this campaign runs " +
+          std::to_string(meta.trials_per_scenario));
+    }
+    if (scan.meta.fingerprint() != meta.fingerprint()) {
+      throw std::runtime_error("cannot resume: journal '" + dir +
+                               "' describes a different scenario set");
+    }
+    skip.assign(total, u8{0});
+    for (std::size_t s = 0; s < scan.done.size(); ++s) {
+      for (u32 t = 0; t < trials; ++t) {
+        if (scan.done[s][t] != 0) {
+          skip[s * trials + t] = 1;
+          done++;
+        }
+      }
+    }
+  }
+  if (config_.resume) {
+    // Identity verified: make the journal physically clean before
+    // appending new shards — torn tails are cut back to the last valid
+    // frame, header-less crash debris is removed.
+    store::truncate_torn_tails(scan);
+  }
+
+  const std::size_t pending = total - done;
+  const u32 threads = resolve_threads(pending);
+
+  // One private shard per worker: the journal write path takes no lock.
+  // Writers open their file lazily, so an idle worker leaves no shard.
+  std::vector<store::ShardWriter> writers;
+  writers.reserve(threads);
+  for (u32 w = 0; w < threads; ++w) {
+    writers.emplace_back(dir, meta, next_shard_id + w);
+  }
+  if (pending > 0) {
+    execute(scenarios, skip.empty() ? nullptr : &skip, threads,
+            [&writers](u32 worker_id, std::size_t scenario_idx, u32,
+                       TrialResult&& r) -> const TrialResult& {
+              writers[worker_id].append(static_cast<u32>(scenario_idx), r);
+              return r;  // the worker's local outlives the progress call
+            });
+  }
+  for (store::ShardWriter& w : writers) w.close();
+
+  // Streaming fold over the shards merged back into trial-index order: no
+  // results vector ever holds the campaign — resident TrialResult storage
+  // stays O(workers + scenarios); only the exact p50/p90 quantiles keep
+  // per-success duration samples (8 bytes each) inside the builders.
+  std::vector<ScenarioAggregateBuilder> builders;
+  builders.reserve(scenarios.size());
+  for (const ScenarioSpec& spec : scenarios) {
+    builders.emplace_back(spec.name, to_string(spec.attack),
+                          /*keep_results=*/false);
+  }
+  std::vector<u32> counts(scenarios.size(), 0);
+  if (total > 0) {
+    store::JournalMerge merge(dir);
+    if (merge.valid()) {
+      store::JournalRecord rec;
+      while (merge.next(rec)) {
+        counts[rec.scenario]++;
+        builders[rec.scenario].add(std::move(rec.result));
+      }
+    }
+  }
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    if (counts[s] != trials) {
+      throw std::runtime_error(
+          "journal '" + dir + "' is incomplete after the run: scenario '" +
+          scenarios[s].name + "' has " + std::to_string(counts[s]) + " of " +
+          std::to_string(trials) + " trials");
+    }
+  }
+
+  CampaignReport report;
+  report.seed = config_.seed;
+  report.trials_per_scenario = trials;
+  report.scenarios.reserve(builders.size());
+  for (ScenarioAggregateBuilder& b : builders) {
+    report.scenarios.push_back(std::move(b).finish());
   }
   return report;
 }

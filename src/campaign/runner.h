@@ -9,9 +9,16 @@
 //     count (the determinism contract tests/campaign/ verifies);
 //   * adding or reordering scenarios does not disturb other scenarios'
 //     results.
+//
+// With CampaignConfig::journal_dir set, finished trials stream into the
+// sharded on-disk journal (campaign/store/) instead of RAM: each worker
+// appends to its own shard, aggregation is a streaming fold over the
+// merged shards, and `resume` re-executes only the trials a previous
+// (possibly killed) run did not journal.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "campaign/report.h"
@@ -23,20 +30,39 @@ struct CampaignConfig {
   u64 seed = 0x5eed;
   /// Independent trials per scenario.
   u32 trials = 8;
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Capped at
+  /// 1024 (and at the number of pending trials) by the runner.
   u32 threads = 0;
+  /// Non-empty: journal every finished TrialResult into shard files under
+  /// this directory (created if absent) instead of holding them in memory.
+  /// The returned report then carries aggregates only — its
+  /// ScenarioAggregate::results vectors are empty, peak resident result
+  /// storage is O(workers + scenarios) TrialResults (plus one 8-byte
+  /// duration per successful trial, which the exact p50/p90 quantiles
+  /// require), and store::read_report() rebuilds the full per-trial
+  /// report from the shards.
+  std::string journal_dir;
+  /// With journal_dir: accept an existing journal in the directory.
+  /// run() verifies it belongs to this campaign (same seed, trial count
+  /// and scenario set), truncates any torn final record a crash left
+  /// behind, and executes only the trials not yet journaled. Without
+  /// resume, a journal directory that already contains shards is an error.
+  bool resume = false;
 };
 
 class CampaignRunner {
  public:
-  explicit CampaignRunner(CampaignConfig config) : config_(config) {}
+  explicit CampaignRunner(CampaignConfig config)
+      : config_(std::move(config)) {}
 
-  /// Called after each finished trial (from worker threads, serialised by
+  /// Called after each executed trial (from worker threads, serialised by
   /// an internal mutex). For progress display; must not mutate the specs.
-  /// The trial's result is stored before the callback runs, so a throwing
-  /// callback cannot lose it: the first exception a callback raises is
-  /// rethrown from run() after all workers finish (remaining trials still
-  /// execute; further progress notifications are suppressed).
+  /// The trial's result is stored — in its report slot or its journal
+  /// shard — before the callback runs, so a throwing callback cannot lose
+  /// it: the first exception a callback raises is rethrown from run()
+  /// after all workers finish (remaining trials still execute; further
+  /// progress notifications are suppressed). Resumed trials that were
+  /// already journaled are skipped, not re-notified.
   using Progress =
       std::function<void(const ScenarioSpec&, const TrialResult&)>;
   void set_progress(Progress progress) { progress_ = std::move(progress); }
@@ -44,7 +70,9 @@ class CampaignRunner {
   /// Runs all trials of all scenarios across the worker pool and returns
   /// the aggregated report, scenarios in input order, trials in index
   /// order. A trial that throws is recorded as a failed trial with its
-  /// exception text in TrialResult::error.
+  /// exception text in TrialResult::error. Journal mode additionally
+  /// throws std::runtime_error on journal mismatch (resuming a different
+  /// campaign), a dirty non-resume directory, or shard I/O failure.
   [[nodiscard]] CampaignReport run(
       const std::vector<ScenarioSpec>& scenarios) const;
 
@@ -57,6 +85,27 @@ class CampaignRunner {
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
 
  private:
+  /// Sink invoked by execute() for every finished trial, from worker
+  /// threads: (worker index, scenario index, trial index, result). Must
+  /// durably store the result and return a reference to the stored copy
+  /// (progress_ observes it); a throw aborts the campaign.
+  using TrialSink = std::function<const TrialResult&(u32, std::size_t, u32,
+                                                     TrialResult&&)>;
+
+  [[nodiscard]] CampaignReport run_in_memory(
+      const std::vector<ScenarioSpec>& scenarios) const;
+  [[nodiscard]] CampaignReport run_journaled(
+      const std::vector<ScenarioSpec>& scenarios) const;
+
+  /// Fans the (non-skipped) trials out over `threads` workers, feeding
+  /// every result to `sink` and then to progress_. `skip`, when non-null,
+  /// flags already-done flattened (scenario * trials + trial) indices.
+  void execute(const std::vector<ScenarioSpec>& scenarios,
+               const std::vector<u8>* skip, u32 threads,
+               const TrialSink& sink) const;
+
+  [[nodiscard]] u32 resolve_threads(std::size_t pending) const;
+
   CampaignConfig config_;
   Progress progress_;
 };

@@ -1,0 +1,159 @@
+#include "campaign/store/journal.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dnstime::campaign::store {
+namespace {
+
+constexpr std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<u32, 256> kCrcTable = make_crc32_table();
+
+}  // namespace
+
+u32 crc32(std::span<const u8> data) {
+  u32 c = 0xFFFFFFFFu;
+  for (u8 b : data) c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+u64 fnv1a(std::string_view s) {
+  u64 h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+u64 fnv1a(std::span<const u8> data) {
+  u64 h = 0xCBF29CE484222325ull;
+  for (u8 c : data) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+JournalMeta JournalMeta::describe(u64 campaign_seed, u32 trials_per_scenario,
+                                  const std::vector<ScenarioSpec>& specs) {
+  JournalMeta meta;
+  meta.campaign_seed = campaign_seed;
+  meta.trials_per_scenario = trials_per_scenario;
+  meta.scenarios.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    meta.scenarios.push_back({spec.name, to_string(spec.attack)});
+  }
+  return meta;
+}
+
+Bytes JournalMeta::encode() const {
+  ByteWriter w;
+  w.write_u64(campaign_seed);
+  w.write_u32(trials_per_scenario);
+  w.write_u32(static_cast<u32>(scenarios.size()));
+  for (const Scenario& s : scenarios) {
+    if (s.name.size() > 0xFFFF || s.attack.size() > 0xFFFF) {
+      throw std::length_error("scenario name too long for journal meta");
+    }
+    w.write_u16(static_cast<u16>(s.name.size()));
+    w.write_string(s.name);
+    w.write_u16(static_cast<u16>(s.attack.size()));
+    w.write_string(s.attack);
+  }
+  return std::move(w).take();
+}
+
+JournalMeta JournalMeta::decode(ByteReader& r) {
+  JournalMeta meta;
+  meta.campaign_seed = r.read_u64();
+  meta.trials_per_scenario = r.read_u32();
+  u32 count = r.read_u32();
+  if (count > 1'000'000) throw DecodeError("implausible scenario count");
+  meta.scenarios.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    Scenario s;
+    Bytes name = r.read_bytes(r.read_u16());
+    s.name.assign(name.begin(), name.end());
+    Bytes attack = r.read_bytes(r.read_u16());
+    s.attack.assign(attack.begin(), attack.end());
+    meta.scenarios.push_back(std::move(s));
+  }
+  return meta;
+}
+
+u64 JournalMeta::fingerprint() const { return fnv1a(encode()); }
+
+std::vector<u64> JournalMeta::name_hashes() const {
+  std::vector<u64> hashes;
+  hashes.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) hashes.push_back(fnv1a(s.name));
+  return hashes;
+}
+
+std::string shard_filename(u32 shard_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%05u%s", std::string(kShardPrefix).c_str(),
+                shard_id, std::string(kShardSuffix).c_str());
+  return buf;
+}
+
+void encode_record(ByteWriter& w, u64 name_hash, const TrialResult& r) {
+  const std::size_t start = w.size();
+  w.write_u64(name_hash);
+  w.write_u32(r.trial);
+  w.write_u64(r.seed);
+  w.write_u8(r.success ? 1 : 0);
+  // Raw IEEE-754 bits: NaN/inf payloads round-trip exactly, which the
+  // byte-identity contract between journal and in-memory reports needs.
+  w.write_u64(std::bit_cast<u64>(r.duration_s));
+  w.write_u64(std::bit_cast<u64>(r.clock_shift_s));
+  w.write_u64(std::bit_cast<u64>(r.metric));
+  w.write_u64(r.fragments_planted);
+  w.write_u64(r.replant_rounds);
+  // Clip pathological error text so the frame always fits the
+  // kMaxRecordBytes bound every reader enforces: an over-long record
+  // would otherwise be written fine but rejected as corrupt on read,
+  // wedging the shard (and resume) behind it forever.
+  const std::size_t error_len = std::min<std::size_t>(r.error.size(),
+                                                      kMaxErrorBytes);
+  w.write_u32(static_cast<u32>(error_len));
+  w.write_string(error_len == r.error.size() ? r.error
+                                             : r.error.substr(0, error_len));
+  if (w.size() - start != kFixedRecordBytes + error_len) {
+    throw std::logic_error("journal record layout drifted from "
+                           "kFixedRecordBytes");
+  }
+}
+
+DecodedRecord decode_record(ByteReader& r) {
+  DecodedRecord d;
+  d.name_hash = r.read_u64();
+  d.result.trial = r.read_u32();
+  d.result.seed = r.read_u64();
+  d.result.success = r.read_u8() != 0;
+  d.result.duration_s = std::bit_cast<double>(r.read_u64());
+  d.result.clock_shift_s = std::bit_cast<double>(r.read_u64());
+  d.result.metric = std::bit_cast<double>(r.read_u64());
+  d.result.fragments_planted = r.read_u64();
+  d.result.replant_rounds = r.read_u64();
+  Bytes error = r.read_bytes(r.read_u32());
+  d.result.error.assign(error.begin(), error.end());
+  return d;
+}
+
+}  // namespace dnstime::campaign::store

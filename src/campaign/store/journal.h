@@ -1,0 +1,118 @@
+// On-disk format of the sharded trial journal: append-only, crash-tolerant
+// campaign persistence.
+//
+// A journal is a directory of shard files ("shard-00000.dtj", ...), one per
+// writer. Every worker thread streams its finished TrialResults into its own
+// shard, so the write path has no cross-thread contention; a reader merges
+// the shards back into trial-index order (campaign/store/journal_reader.h).
+//
+// Shard file layout (all integers big-endian, like the repo's wire codecs):
+//
+//   [u64 magic "DTJRNL1\0"][u32 version][u32 shard_id]
+//   [u32 meta_len][u32 meta_crc32][meta bytes]        <- campaign identity
+//   ([u32 rec_len][u32 rec_crc32][record bytes])*     <- one frame per trial
+//
+// The meta block (JournalMeta) pins the campaign seed, trials-per-scenario
+// and the ordered scenario table; every shard of one journal carries an
+// identical copy, which is how resume refuses to mix campaigns. Records are
+// keyed by (scenario-name FNV-1a hash, trial index, seed) and carry the full
+// TrialResult with doubles as raw IEEE-754 bits, so non-finite values
+// round-trip exactly. Frames are flushed to the kernel per append, so a
+// process killed mid-write leaves at most one torn frame at the end of
+// each shard; readers stop at the last valid frame and resume truncates
+// the tail, so a crash can never corrupt completed trials. (No fsync: an
+// OS/power failure may additionally lose fully-written frames, which
+// resume re-executes deterministically.)
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/scenario_spec.h"
+#include "common/bytes.h"
+
+namespace dnstime::campaign::store {
+
+/// RAII ownership of a C stdio stream, shared by the shard writer and the
+/// journal readers (closes silently; paths that must observe the close
+/// result release() and fclose themselves).
+struct FcloseDeleter {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FcloseDeleter>;
+
+inline constexpr u64 kMagic = 0x44544A524E4C3100ull;  // "DTJRNL1\0"
+inline constexpr u32 kVersion = 1;
+inline constexpr std::string_view kShardPrefix = "shard-";
+inline constexpr std::string_view kShardSuffix = ".dtj";
+/// Sanity bound on one framed record: a TrialResult's only variable-length
+/// part is the error string, so a larger length field is garbage, not data.
+/// The writer enforces this too — error strings are clipped to
+/// kMaxErrorBytes before framing — so no shard ever holds a record its
+/// readers would reject as corrupt.
+inline constexpr u32 kMaxRecordBytes = 1u << 20;
+/// Fixed-width part of an encoded record (everything but the error text).
+inline constexpr u32 kFixedRecordBytes = 65;
+/// Longest error string a journaled TrialResult retains; anything longer
+/// is truncated at append time (the in-memory path keeps the full text).
+inline constexpr u32 kMaxErrorBytes = kMaxRecordBytes - kFixedRecordBytes;
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320) over a byte span.
+[[nodiscard]] u32 crc32(std::span<const u8> data);
+
+/// FNV-1a. The scenario-name hash that keys journal records is the same
+/// hash CampaignRunner::trial_seed mixes into per-trial seeds.
+[[nodiscard]] u64 fnv1a(std::string_view s);
+[[nodiscard]] u64 fnv1a(std::span<const u8> data);
+
+/// Campaign identity stored in every shard header. Two shards belong to the
+/// same journal iff their encoded metas are byte-identical.
+struct JournalMeta {
+  struct Scenario {
+    std::string name;
+    std::string attack;  ///< to_string(AttackKind), for report rebuilding
+  };
+
+  u64 campaign_seed = 0;
+  u32 trials_per_scenario = 0;
+  std::vector<Scenario> scenarios;  ///< campaign registration order
+
+  [[nodiscard]] static JournalMeta describe(
+      u64 campaign_seed, u32 trials_per_scenario,
+      const std::vector<ScenarioSpec>& specs);
+
+  [[nodiscard]] Bytes encode() const;
+  /// Throws DecodeError on malformed input.
+  [[nodiscard]] static JournalMeta decode(ByteReader& r);
+  /// FNV-1a over encode(): one u64 that pins seed + trials + scenario set.
+  [[nodiscard]] u64 fingerprint() const;
+  /// fnv1a(name) per scenario, in order (record key precomputation).
+  [[nodiscard]] std::vector<u64> name_hashes() const;
+};
+
+/// One merged journal entry: a TrialResult resolved back to its scenario's
+/// index in JournalMeta::scenarios.
+struct JournalRecord {
+  u32 scenario = 0;
+  TrialResult result;
+};
+
+[[nodiscard]] std::string shard_filename(u32 shard_id);
+
+// --- record codec (shared by ShardWriter, JournalReader and tests) ---------
+
+void encode_record(ByteWriter& w, u64 name_hash, const TrialResult& r);
+
+struct DecodedRecord {
+  u64 name_hash = 0;
+  TrialResult result;
+};
+/// Throws DecodeError on malformed input; the reader treats that exactly
+/// like a CRC mismatch (end of the shard's valid prefix).
+[[nodiscard]] DecodedRecord decode_record(ByteReader& r);
+
+}  // namespace dnstime::campaign::store

@@ -1,0 +1,85 @@
+#include "campaign/store/shard_writer.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace dnstime::campaign::store {
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+ShardWriter::ShardWriter(const std::string& dir, const JournalMeta& meta,
+                         u32 shard_id)
+    : path_(dir + "/" + shard_filename(shard_id)),
+      hashes_(meta.name_hashes()) {
+  ByteWriter h;
+  h.write_u64(kMagic);
+  h.write_u32(kVersion);
+  h.write_u32(shard_id);
+  Bytes meta_bytes = meta.encode();
+  if (meta_bytes.size() > kMaxRecordBytes) {
+    // Fail before any trial runs: readers reject oversized meta blocks as
+    // corrupt, so writing one would produce an unreadable journal.
+    throw std::invalid_argument(
+        "campaign scenario table too large to journal (" +
+        std::to_string(meta_bytes.size()) + " bytes encoded)");
+  }
+  h.write_u32(static_cast<u32>(meta_bytes.size()));
+  h.write_u32(crc32(meta_bytes));
+  h.write_bytes(meta_bytes);
+  header_ = std::move(h).take();
+}
+
+void ShardWriter::open_and_write_header() {
+  // "x": exclusive create. Shard ids are allocated fresh per run, so the
+  // only way this file exists is another process journaling into the same
+  // directory — fail fast instead of silently truncating its shard (the
+  // runner's dirty-directory check is scan-then-create and cannot catch
+  // two campaigns racing on an initially empty directory).
+  file_.reset(std::fopen(path_.c_str(), "wbx"));
+  if (file_ == nullptr) throw_io("cannot create journal shard", path_);
+  if (std::fwrite(header_.data(), 1, header_.size(), file_.get()) !=
+      header_.size()) {
+    throw_io("cannot write journal shard header", path_);
+  }
+}
+
+void ShardWriter::append(u32 scenario_index, const TrialResult& r) {
+  if (scenario_index >= hashes_.size()) {
+    throw std::runtime_error("journal append: scenario index out of range");
+  }
+  if (file_ == nullptr) open_and_write_header();
+  ByteWriter payload;
+  encode_record(payload, hashes_[scenario_index], r);
+  ByteWriter frame;
+  frame.write_u32(static_cast<u32>(payload.size()));
+  frame.write_u32(crc32(payload.data()));
+  frame.write_bytes(payload.data());
+  const Bytes& bytes = frame.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_.get()) !=
+      bytes.size()) {
+    throw_io("cannot append to journal shard", path_);
+  }
+  // Flush each frame to the kernel: "stored" (as the progress contract and
+  // resume promise) must mean a SIGKILL now costs at most the frame being
+  // written, not a stdio buffer of completed trials. The flush is noise
+  // next to executing a trial.
+  if (std::fflush(file_.get()) != 0) {
+    throw_io("cannot flush journal shard", path_);
+  }
+  records_++;
+}
+
+void ShardWriter::close() {
+  if (file_ == nullptr) return;
+  if (std::fclose(file_.release()) != 0) {
+    throw_io("cannot close journal shard", path_);
+  }
+}
+
+}  // namespace dnstime::campaign::store

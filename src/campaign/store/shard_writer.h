@@ -1,0 +1,43 @@
+// Append-only writer for one journal shard. Each campaign worker thread
+// owns exactly one ShardWriter, so the journal write path never takes a
+// lock: a finished TrialResult is framed (length + CRC32) and appended to
+// the worker's private file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/store/journal.h"
+
+namespace dnstime::campaign::store {
+
+class ShardWriter {
+ public:
+  /// `dir` must exist. The shard file is created lazily on the first
+  /// append — an idle worker leaves no empty shard behind — and starts
+  /// with the header + meta block described in journal.h.
+  ShardWriter(const std::string& dir, const JournalMeta& meta, u32 shard_id);
+
+  /// Appends one framed record for `meta.scenarios[scenario_index]` and
+  /// flushes it to the kernel, so a killed process loses at most the
+  /// frame being written. Throws std::runtime_error on I/O failure.
+  void append(u32 scenario_index, const TrialResult& r);
+
+  /// Closes the file (no-op if nothing was appended). Throws
+  /// std::runtime_error if the close fails; the destructor closes silently.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] u64 records() const { return records_; }
+
+ private:
+  void open_and_write_header();
+
+  std::string path_;
+  Bytes header_;             ///< magic + version + shard id + framed meta
+  std::vector<u64> hashes_;  ///< fnv1a(scenario name), by scenario index
+  FilePtr file_;             ///< move-only ownership, closed on destroy
+  u64 records_ = 0;
+};
+
+}  // namespace dnstime::campaign::store

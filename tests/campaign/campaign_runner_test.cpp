@@ -173,12 +173,52 @@ TEST(CampaignCli, ParsesValuesAndRejectsBadFlags) {
   EXPECT_FALSE(parse({"--trails", "8"}).ok);
   // A value-less flag must be an error too.
   EXPECT_FALSE(parse({"--trials"}).ok);
-  // --filter/--json are only valid when scenario flags are enabled.
+  // --filter is only valid when scenario flags are enabled.
   EXPECT_FALSE(parse({"--filter", "sweep/"}).ok);
   CliOptions sweep = parse({"--filter", "sweep/", "--json"}, true);
   EXPECT_TRUE(sweep.ok);
   EXPECT_EQ(sweep.filter, "sweep/");
   EXPECT_TRUE(sweep.json);
+}
+
+TEST(CampaignCli, RejectsMalformedNumbersInsteadOfZeroingThem) {
+  // std::atoi used to turn every one of these into a silent 0 (or wrap
+  // negatives); each must be a reported error now.
+  EXPECT_FALSE(parse({"--trials", "garbage"}).ok);
+  EXPECT_FALSE(parse({"--trials", "8x"}).ok);   // trailing junk
+  EXPECT_FALSE(parse({"--trials", "-3"}).ok);   // negative would wrap
+  EXPECT_FALSE(parse({"--trials", "+3"}).ok);   // sign is not a digit
+  EXPECT_FALSE(parse({"--trials", " 8"}).ok);   // leading whitespace
+  EXPECT_FALSE(parse({"--trials", ""}).ok);
+  EXPECT_FALSE(parse({"--trials", "0"}).ok);    // a zero-trial campaign
+  EXPECT_FALSE(parse({"--trials", "4294967296"}).ok);   // > u32 max
+  EXPECT_FALSE(parse({"--threads", "1e3"}).ok);
+  EXPECT_FALSE(parse({"--seed", "0x10"}).ok);
+  EXPECT_FALSE(parse({"--seed", "18446744073709551616"}).ok);  // > u64 max
+
+  EXPECT_TRUE(parse({"--trials", "4294967295"}).ok);
+  EXPECT_TRUE(parse({"--threads", "0"}).ok);  // 0 threads = all cores
+  CliOptions max_seed = parse({"--seed", "18446744073709551615"});
+  EXPECT_TRUE(max_seed.ok);
+  EXPECT_EQ(max_seed.config.seed, ~u64{0});
+}
+
+TEST(CampaignCli, ParsesJournalResumeAndOutFlags) {
+  CliOptions opts = parse(
+      {"--journal", "/tmp/j", "--resume", "--out", "report.json", "--json"});
+  EXPECT_TRUE(opts.ok);
+  EXPECT_EQ(opts.config.journal_dir, "/tmp/j");
+  EXPECT_TRUE(opts.config.resume);
+  EXPECT_EQ(opts.out, "report.json");
+  EXPECT_TRUE(opts.json);
+
+  // Persistence flags are part of the base set: scenario tools get them
+  // too, with no bespoke flag code.
+  EXPECT_TRUE(parse({"--journal", "j", "--filter", "sweep/"}, true).ok);
+
+  EXPECT_FALSE(parse({"--resume"}).ok);   // --resume needs --journal
+  EXPECT_FALSE(parse({"--journal"}).ok);  // value-less
+  EXPECT_FALSE(parse({"--out"}).ok);
 }
 
 TEST(CampaignTrial, ChronosWithZeroHonestRoundsHandsAttackerTheWholePool) {
