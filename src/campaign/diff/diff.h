@@ -1,0 +1,105 @@
+// Cross-campaign comparison: match two CampaignReports scenario-by-name,
+// compute per-metric deltas and annotate each with a statistical verdict.
+//
+// Test selection per metric:
+//   * success_rate      — two-proportion z-test over (successes, trials);
+//                         works from aggregates alone.
+//   * duration_mean_s   — Welch's t-test over the successful trials'
+//                         durations when both reports carry per-trial
+//                         results; otherwise a normal-approximation
+//                         fallback from aggregates, with sigma estimated
+//                         from the p50/p90 spread ((p90-p50)/z_0.9 under a
+//                         normality assumption). Journaled-run reports
+//                         serialise aggregates only, so the fallback is
+//                         what keeps them diffable.
+//   * shift_mean_s,
+//     metric_mean       — Welch's t-test when trial data is available on
+//                         both sides (aggregates carry no variance, so
+//                         there is no fallback: delta reported untested).
+//   * duration_dist     — two-sample Kolmogorov-Smirnov over the success
+//                         durations (trial data only): catches shape
+//                         drift that leaves the mean unchanged.
+//   * duration_p50_s/p90_s — deltas only, never tested (quantile deltas
+//                         are reported for humans; significance comes
+//                         from the mean and KS rows).
+//
+// Verdict semantics: against a pinned baseline artifact, ANY
+// statistically significant movement is a reproduction regression — an
+// "improvement" still means the committed baseline no longer describes
+// the code. Verdicts keep the direction for human readers (improved /
+// regressed / shifted), but the gate (`regressions()`, and the
+// campaign_diff CLI's --fail-on-regression) counts every significant
+// delta, plus every scenario that disappeared from the candidate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/report.h"
+
+namespace dnstime::campaign::diff {
+
+enum class Verdict {
+  kUnchanged,  ///< not significant at alpha, or no test applicable
+  kImproved,   ///< significant, in the metric's "better" direction
+  kRegressed,  ///< significant, in the metric's "worse" direction
+  kShifted,    ///< significant, direction-less metric (distribution drift)
+};
+
+[[nodiscard]] const char* to_string(Verdict v);
+
+struct MetricDelta {
+  std::string metric;      ///< "success_rate", "duration_mean_s", ...
+  double baseline = 0.0;   ///< NaN when the side has no such value
+  double candidate = 0.0;
+  double delta = 0.0;      ///< candidate - baseline (duration_dist: KS D)
+  std::string test;        ///< "two-proportion-z", "welch-t",
+                           ///< "normal-approx", "ks", "none"
+  double statistic = 0.0;  ///< z, t or D; 0 when untested
+  double df = 0.0;         ///< Welch-Satterthwaite df (t-tests only)
+  double p = 1.0;          ///< two-sided p-value; NaN when test == "none"
+  Verdict verdict = Verdict::kUnchanged;
+};
+
+struct ScenarioDiff {
+  std::string name;
+  std::string attack;
+  bool in_baseline = false;
+  bool in_candidate = false;
+  /// Empty unless the scenario exists on both sides.
+  std::vector<MetricDelta> metrics;
+};
+
+struct DiffOptions {
+  /// Significance level for verdict annotation (two-sided).
+  double alpha = 0.05;
+};
+
+struct DiffResult {
+  double alpha = 0.05;
+  u64 baseline_seed = 0;
+  u64 candidate_seed = 0;
+  u32 baseline_trials = 0;   ///< trials_per_scenario
+  u32 candidate_trials = 0;
+  /// Baseline scenario order, then candidate-only scenarios.
+  std::vector<ScenarioDiff> scenarios;
+  /// Metric deltas significant at alpha, across all matched scenarios.
+  u32 significant = 0;
+
+  /// The regression gate: counts metric deltas with p < p_threshold plus
+  /// scenarios present in the baseline but missing from the candidate.
+  /// Candidate-only scenarios do not count (adding coverage is not a
+  /// regression).
+  [[nodiscard]] u32 regressions(double p_threshold) const;
+
+  /// Machine-readable diff; stable key order and number formatting.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable delta table, one row per metric.
+  [[nodiscard]] std::string to_table() const;
+};
+
+[[nodiscard]] DiffResult diff_campaigns(const CampaignReport& baseline,
+                                        const CampaignReport& candidate,
+                                        const DiffOptions& opts = {});
+
+}  // namespace dnstime::campaign::diff

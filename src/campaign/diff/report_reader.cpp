@@ -1,0 +1,547 @@
+#include "campaign/diff/report_reader.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "campaign/store/journal.h"
+#include "campaign/store/journal_reader.h"
+
+namespace dnstime::campaign::diff {
+namespace {
+
+struct Pos {
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+Pos position_at(std::string_view text, std::size_t offset) {
+  Pos p;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      p.line++;
+      p.column = 1;
+    } else {
+      p.column++;
+    }
+  }
+  return p;
+}
+
+/// Recursive-descent parser over the CampaignReport JSON schema. Schema
+/// knowledge lives directly in the grammar: every object parser dispatches
+/// on key, rejects unknown and duplicate keys, and checks required keys at
+/// the closing brace, so every diagnostic points at the byte that broke.
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  CampaignReport parse() {
+    CampaignReport report = parse_report_object();
+    skip_ws();
+    if (pos_ < text_.size()) {
+      fail(pos_, "trailing garbage after report object");
+    }
+    return report;
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t offset, const std::string& message) {
+    Pos p = position_at(text_, offset);
+    throw ParseError(source_, p.line, p.column, offset, message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    pos_++;
+  }
+
+  // --- JSON scalars ---------------------------------------------------------
+
+  void append_utf8(std::string& out, u32 cp, std::size_t at) {
+    if (cp <= 0x7F) {
+      out += static_cast<char>(cp);
+    } else if (cp <= 0x7FF) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp <= 0xFFFF) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp <= 0x10FFFF) {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      fail(at, "escape denotes an invalid code point");
+    }
+  }
+
+  u32 parse_hex4(std::size_t at) {
+    if (pos_ + 4 > text_.size()) fail(at, "truncated \\u escape");
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<u32>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<u32>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<u32>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    const std::size_t start = pos_;
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(start, "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(start, "unterminated string");
+      const std::size_t esc = pos_ - 1;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          u32 cp = parse_hex4(esc);
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need pair
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail(esc, "high surrogate without a low surrogate");
+            }
+            pos_ += 2;
+            u32 lo = parse_hex4(esc);
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail(esc, "high surrogate without a low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail(esc, "lone low surrogate");
+          }
+          append_utf8(out, cp, esc);
+          break;
+        }
+        default:
+          fail(esc, "invalid escape sequence");
+      }
+    }
+  }
+
+  /// Plain unsigned decimal token — what std::to_string writes for the
+  /// integer fields. Signs, fractions, exponents and leading zeros are
+  /// schema errors here even though they are valid JSON numbers.
+  u64 parse_u64(const char* field) {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      pos_++;
+    }
+    auto bad = [&]() {
+      fail(start, std::string("expected an unsigned integer for \"") + field +
+                      "\"");
+    };
+    if (pos_ == start) bad();
+    if (text_[start] == '0' && pos_ - start > 1) bad();
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      bad();
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (errno == ERANGE || *end != '\0') {
+      fail(start, std::string("value out of range for \"") + field + "\"");
+    }
+    return v;
+  }
+
+  /// JSON number or null; null maps to NaN (to_json writes every
+  /// non-finite double as null, so this is the round-trip inverse).
+  double parse_double_or_null(const char* field) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    // Validate the RFC 8259 number grammar before handing to strtod.
+    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
+    auto bad = [&]() {
+      fail(start,
+           std::string("expected a number or null for \"") + field + "\"");
+    };
+    auto digits = [&]() {
+      const std::size_t d = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        pos_++;
+      }
+      if (pos_ == d) bad();
+      return d;
+    };
+    const std::size_t int_start = digits();
+    if (text_[int_start] == '0' && pos_ - int_start > 1) bad();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      pos_++;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      pos_++;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        pos_++;
+      }
+      digits();
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    // Overflow to infinity (e.g. 1e400) would smuggle a non-finite value
+    // past the writer's null convention and poison every downstream
+    // delta; reject it here. Underflow to a denormal stays accepted —
+    // the writer legitimately emits denormals.
+    if (!std::isfinite(v)) {
+      fail(start, std::string("number out of range for \"") + field + "\"");
+    }
+    return v;
+  }
+
+  bool parse_bool(const char* field) {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail(pos_, std::string("expected true or false for \"") + field + "\"");
+  }
+
+  // --- composite walkers ----------------------------------------------------
+
+  /// Walks '{"key":value,...}'. `handle(key, key_offset)` consumes the
+  /// value and returns false for keys the schema does not know. Duplicate
+  /// keys are rejected here, for every object uniformly.
+  template <typename HandleKey>
+  void parse_object(HandleKey&& handle) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      pos_++;
+      return;
+    }
+    std::vector<std::string> seen;
+    for (;;) {
+      skip_ws();
+      const std::size_t key_off = pos_;
+      std::string key = parse_string();
+      for (const std::string& k : seen) {
+        if (k == key) fail(key_off, "duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':');
+      if (!handle(key, key_off)) fail(key_off, "unknown key \"" + key + "\"");
+      seen.push_back(std::move(key));
+      skip_ws();
+      const std::size_t sep = pos_;
+      char c = peek();
+      pos_++;
+      if (c == '}') return;
+      if (c != ',') fail(sep, "expected ',' or '}'");
+    }
+  }
+
+  template <typename Element>
+  void parse_array(Element&& element) {
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      pos_++;
+      return;
+    }
+    for (;;) {
+      element();
+      skip_ws();
+      const std::size_t sep = pos_;
+      char c = peek();
+      pos_++;
+      if (c == ']') return;
+      if (c != ',') fail(sep, "expected ',' or ']'");
+    }
+  }
+
+  /// Tracks required-key presence for one object and reports the first
+  /// missing one at the object's opening brace.
+  struct Required {
+    const char* key;
+    bool seen = false;
+  };
+  void check_required(std::size_t open, std::initializer_list<Required*> req,
+                      const char* object_name) {
+    for (Required* r : req) {
+      if (!r->seen) {
+        fail(open, std::string(object_name) + " is missing key \"" + r->key +
+                       "\"");
+      }
+    }
+  }
+
+  // --- schema ---------------------------------------------------------------
+
+  TrialResult parse_trial() {
+    TrialResult t;
+    Required trial{"trial"}, seed{"seed"}, success{"success"},
+        duration{"duration_s"}, shift{"clock_shift_s"}, metric{"metric"},
+        fragments{"fragments_planted"}, replants{"replant_rounds"};
+    skip_ws();
+    const std::size_t open = pos_;
+    parse_object([&](const std::string& key, std::size_t) {
+      if (key == "trial") {
+        u64 v = parse_u64("trial");
+        if (v > std::numeric_limits<u32>::max()) {
+          fail(open, "\"trial\" out of range");
+        }
+        t.trial = static_cast<u32>(v);
+        trial.seen = true;
+      } else if (key == "seed") {
+        t.seed = parse_u64("seed");
+        seed.seen = true;
+      } else if (key == "success") {
+        t.success = parse_bool("success");
+        success.seen = true;
+      } else if (key == "duration_s") {
+        t.duration_s = parse_double_or_null("duration_s");
+        duration.seen = true;
+      } else if (key == "clock_shift_s") {
+        t.clock_shift_s = parse_double_or_null("clock_shift_s");
+        shift.seen = true;
+      } else if (key == "metric") {
+        t.metric = parse_double_or_null("metric");
+        metric.seen = true;
+      } else if (key == "fragments_planted") {
+        t.fragments_planted = parse_u64("fragments_planted");
+        fragments.seen = true;
+      } else if (key == "replant_rounds") {
+        t.replant_rounds = parse_u64("replant_rounds");
+        replants.seen = true;
+      } else if (key == "error") {
+        t.error = parse_string();
+      } else {
+        return false;
+      }
+      return true;
+    });
+    check_required(open,
+                   {&trial, &seed, &success, &duration, &shift, &metric,
+                    &fragments, &replants},
+                   "trial");
+    return t;
+  }
+
+  ScenarioAggregate parse_scenario() {
+    ScenarioAggregate s;
+    Required name{"name"}, attack{"attack"}, trials{"trials"},
+        successes{"successes"}, errors{"errors"}, rate{"success_rate"},
+        dmean{"duration_mean_s"}, dp50{"duration_p50_s"},
+        dp90{"duration_p90_s"}, smean{"shift_mean_s"}, mmean{"metric_mean"},
+        frags{"fragments_total"};
+    skip_ws();
+    const std::size_t open = pos_;
+    parse_object([&](const std::string& key, std::size_t) {
+      if (key == "name") {
+        s.name = parse_string();
+        name.seen = true;
+      } else if (key == "attack") {
+        s.attack = parse_string();
+        attack.seen = true;
+      } else if (key == "trials") {
+        u64 v = parse_u64("trials");
+        if (v > std::numeric_limits<u32>::max()) {
+          fail(open, "\"trials\" out of range");
+        }
+        s.trials = static_cast<u32>(v);
+        trials.seen = true;
+      } else if (key == "successes") {
+        u64 v = parse_u64("successes");
+        if (v > std::numeric_limits<u32>::max()) {
+          fail(open, "\"successes\" out of range");
+        }
+        s.successes = static_cast<u32>(v);
+        successes.seen = true;
+      } else if (key == "errors") {
+        u64 v = parse_u64("errors");
+        if (v > std::numeric_limits<u32>::max()) {
+          fail(open, "\"errors\" out of range");
+        }
+        s.errors = static_cast<u32>(v);
+        errors.seen = true;
+      } else if (key == "success_rate") {
+        s.success_rate = parse_double_or_null("success_rate");
+        rate.seen = true;
+      } else if (key == "duration_mean_s") {
+        s.duration_mean_s = parse_double_or_null("duration_mean_s");
+        dmean.seen = true;
+      } else if (key == "duration_p50_s") {
+        s.duration_p50_s = parse_double_or_null("duration_p50_s");
+        dp50.seen = true;
+      } else if (key == "duration_p90_s") {
+        s.duration_p90_s = parse_double_or_null("duration_p90_s");
+        dp90.seen = true;
+      } else if (key == "shift_mean_s") {
+        s.shift_mean_s = parse_double_or_null("shift_mean_s");
+        smean.seen = true;
+      } else if (key == "metric_mean") {
+        s.metric_mean = parse_double_or_null("metric_mean");
+        mmean.seen = true;
+      } else if (key == "fragments_total") {
+        s.fragments_total = parse_u64("fragments_total");
+        frags.seen = true;
+      } else if (key == "results") {
+        parse_array([&]() { s.results.push_back(parse_trial()); });
+      } else {
+        return false;
+      }
+      return true;
+    });
+    check_required(open,
+                   {&name, &attack, &trials, &successes, &errors, &rate,
+                    &dmean, &dp50, &dp90, &smean, &mmean, &frags},
+                   "scenario");
+    if (s.successes > s.trials) {
+      fail(open, "scenario \"" + s.name + "\": successes exceed trials");
+    }
+    if (s.errors > s.trials) {
+      fail(open, "scenario \"" + s.name + "\": errors exceed trials");
+    }
+    return s;
+  }
+
+  CampaignReport parse_report_object() {
+    CampaignReport r;
+    Required seed{"seed"}, trials{"trials_per_scenario"},
+        scenarios{"scenarios"};
+    skip_ws();
+    const std::size_t open = pos_;
+    parse_object([&](const std::string& key, std::size_t) {
+      if (key == "seed") {
+        r.seed = parse_u64("seed");
+        seed.seen = true;
+      } else if (key == "trials_per_scenario") {
+        u64 v = parse_u64("trials_per_scenario");
+        if (v > std::numeric_limits<u32>::max()) {
+          fail(open, "\"trials_per_scenario\" out of range");
+        }
+        r.trials_per_scenario = static_cast<u32>(v);
+        trials.seen = true;
+      } else if (key == "scenarios") {
+        scenarios.seen = true;
+        parse_array([&]() {
+          skip_ws();
+          const std::size_t at = pos_;
+          ScenarioAggregate s = parse_scenario();
+          for (const ScenarioAggregate& prev : r.scenarios) {
+            if (prev.name == s.name) {
+              fail(at, "duplicate scenario \"" + s.name + "\"");
+            }
+          }
+          r.scenarios.push_back(std::move(s));
+        });
+      } else {
+        return false;
+      }
+      return true;
+    });
+    check_required(open, {&seed, &trials, &scenarios}, "report");
+    return r;
+  }
+
+  std::string_view text_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseError::ParseError(const std::string& source, std::size_t line,
+                       std::size_t column, std::size_t offset,
+                       const std::string& message)
+    : std::runtime_error(source + ":" + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column),
+      offset_(offset) {}
+
+CampaignReport parse_report(std::string_view json, const std::string& source) {
+  return Parser(json, source).parse();
+}
+
+CampaignReport load_report(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return store::read_report(path);
+  }
+  store::FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open report '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    text.append(buf, n);
+  }
+  if (std::ferror(f.get())) {
+    throw std::runtime_error("cannot read report '" + path + "'");
+  }
+  return parse_report(text, path);
+}
+
+}  // namespace dnstime::campaign::diff

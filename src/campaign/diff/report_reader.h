@@ -1,0 +1,65 @@
+// Parsing side of CampaignReport JSON: the exact inverse of
+// CampaignReport::to_json(), so reports written by any campaign tool (or a
+// committed baseline artifact) can be loaded back into the in-memory
+// structs for cross-campaign diffing and golden-file round-trip tests.
+//
+// The parser is strict where the old CLI atoi bug taught us laxness hurts:
+//   * trailing garbage after the top-level object is an error, never
+//     silently ignored;
+//   * duplicate keys inside any object — and duplicate scenario names
+//     across the scenarios array — are errors (JSON engines differ on
+//     which copy wins, so accepting them makes the diff depend on parser
+//     luck);
+//   * unknown keys are errors: a report written by a newer serialiser
+//     must fail loudly, not lose fields silently;
+//   * integer fields must be plain unsigned decimal tokens in range, and
+//     aggregates must be internally consistent (successes <= trials).
+// Every rejection carries a line/column/offset diagnostic.
+//
+// Tolerances (standard JSON, needed for hand-edited baselines): arbitrary
+// whitespace between tokens, any key order inside objects, the full JSON
+// string escape set (\uXXXX including surrogate pairs), and `null` for the
+// double-valued metrics, which maps back to NaN — to_json() writes every
+// non-finite double as null, so null is the round-trip image of NaN/inf.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "campaign/report.h"
+
+namespace dnstime::campaign::diff {
+
+/// Malformed or schema-violating report JSON. what() is a compiler-style
+/// "<source>:<line>:<column>: <message>" diagnostic; line/column are
+/// 1-based, offset is the 0-based byte position in the input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& source, std::size_t line, std::size_t column,
+             std::size_t offset, const std::string& message);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+  std::size_t offset_;
+};
+
+/// Parses one CampaignReport from `json`. `source` names the input in
+/// diagnostics (a file path, or the default for in-memory strings).
+/// Throws ParseError on any syntax or schema violation.
+[[nodiscard]] CampaignReport parse_report(std::string_view json,
+                                          const std::string& source =
+                                              "<report>");
+
+/// Loads a campaign from `path`: a directory is read as a trial journal
+/// (store::read_report), a file as report JSON. Throws ParseError for
+/// malformed JSON and std::runtime_error for I/O or journal failures.
+[[nodiscard]] CampaignReport load_report(const std::string& path);
+
+}  // namespace dnstime::campaign::diff

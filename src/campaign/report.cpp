@@ -5,13 +5,12 @@
 #include <utility>
 
 namespace dnstime::campaign {
-namespace {
 
 /// Shortest-round-trip formatting for doubles: enough digits to be exact,
 /// no locale dependence — the report must be byte-stable across runs.
 /// Non-finite values become `null`: %g would print `nan`/`inf`, which are
 /// not JSON and silently corrupt every downstream parse of the report.
-std::string fmt(double v) {
+std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.6g", v);
@@ -35,8 +34,6 @@ void json_escape_into(std::string& out, const std::string& s) {
     }
   }
 }
-
-}  // namespace
 
 ScenarioAggregate ScenarioAggregate::from_results(
     const ScenarioSpec& spec, std::vector<TrialResult> results) {
@@ -107,12 +104,12 @@ std::string CampaignReport::to_json(bool include_trials) const {
     out += "\",\"trials\":" + std::to_string(s.trials);
     out += ",\"successes\":" + std::to_string(s.successes);
     out += ",\"errors\":" + std::to_string(s.errors);
-    out += ",\"success_rate\":" + fmt(s.success_rate);
-    out += ",\"duration_mean_s\":" + fmt(s.duration_mean_s);
-    out += ",\"duration_p50_s\":" + fmt(s.duration_p50_s);
-    out += ",\"duration_p90_s\":" + fmt(s.duration_p90_s);
-    out += ",\"shift_mean_s\":" + fmt(s.shift_mean_s);
-    out += ",\"metric_mean\":" + fmt(s.metric_mean);
+    out += ",\"success_rate\":" + json_number(s.success_rate);
+    out += ",\"duration_mean_s\":" + json_number(s.duration_mean_s);
+    out += ",\"duration_p50_s\":" + json_number(s.duration_p50_s);
+    out += ",\"duration_p90_s\":" + json_number(s.duration_p90_s);
+    out += ",\"shift_mean_s\":" + json_number(s.shift_mean_s);
+    out += ",\"metric_mean\":" + json_number(s.metric_mean);
     out += ",\"fragments_total\":" + std::to_string(s.fragments_total);
     if (include_trials) {
       out += ",\"results\":[";
@@ -123,9 +120,9 @@ std::string CampaignReport::to_json(bool include_trials) const {
         out += "{\"trial\":" + std::to_string(r.trial);
         out += ",\"seed\":" + std::to_string(r.seed);
         out += ",\"success\":" + std::string(r.success ? "true" : "false");
-        out += ",\"duration_s\":" + fmt(r.duration_s);
-        out += ",\"clock_shift_s\":" + fmt(r.clock_shift_s);
-        out += ",\"metric\":" + fmt(r.metric);
+        out += ",\"duration_s\":" + json_number(r.duration_s);
+        out += ",\"clock_shift_s\":" + json_number(r.clock_shift_s);
+        out += ",\"metric\":" + json_number(r.metric);
         out += ",\"fragments_planted\":" + std::to_string(r.fragments_planted);
         out += ",\"replant_rounds\":" + std::to_string(r.replant_rounds);
         if (!r.error.empty()) {

@@ -1,0 +1,196 @@
+// Golden-file lockdown of the CampaignReport writers: the JSON (full and
+// aggregates-only) and table renderings of a fixed report are pinned
+// byte-for-byte against checked-in fixtures, so any writer change shows
+// up as a reviewable fixture diff instead of silent drift — these bytes
+// are what committed baseline artifacts and the CI diff gate consume.
+//
+// To regenerate after an intentional writer change:
+//   DNSTIME_UPDATE_GOLDEN=1 ./build/dnstime_campaign_tests \
+//       --gtest_filter='Golden*'
+// and commit the fixture diff.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "campaign/diff/report_reader.h"
+#include "campaign/report.h"
+
+namespace dnstime::campaign {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(DNSTIME_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "cannot open golden fixture " << path
+                  << " (run with DNSTIME_UPDATE_GOLDEN=1 to create it)";
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << "cannot write golden fixture " << path;
+  out << content;
+}
+
+bool update_mode() {
+  const char* env = std::getenv("DNSTIME_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// The pinned report: hand-picked values that exercise every writer edge —
+/// unicode and escaped scenario names, control characters and quotes in
+/// error strings, NaN metrics (-> null), an all-failure scenario, an
+/// empty scenario, and results both present and omitted. All finite
+/// doubles are %.6g-stable so the JSON round-trips losslessly.
+CampaignReport golden_report() {
+  CampaignReport r;
+  r.seed = 424242;
+  r.trials_per_scenario = 4;
+
+  ScenarioAggregate a;
+  a.name = "table2/ntpd-p1";
+  a.attack = "run-time";
+  a.trials = 4;
+  a.successes = 3;
+  a.errors = 1;
+  a.success_rate = 0.75;
+  a.duration_mean_s = 1020.5;
+  a.duration_p50_s = 990.25;
+  a.duration_p90_s = 1180.75;
+  a.shift_mean_s = -500.125;
+  a.metric_mean = 0.625;
+  a.fragments_total = 96;
+  {
+    TrialResult t;
+    t.trial = 0;
+    t.seed = 101;
+    t.success = true;
+    t.duration_s = 990.25;
+    t.clock_shift_s = -500.125;
+    t.metric = 1.0;
+    t.fragments_planted = 32;
+    t.replant_rounds = 2;
+    a.results.push_back(t);
+  }
+  {
+    TrialResult t;
+    t.trial = 1;
+    t.seed = 102;
+    t.success = false;
+    t.duration_s = 21600.0;
+    t.clock_shift_s = 0.0;
+    t.metric = 0.0;
+    t.fragments_planted = 0;
+    t.replant_rounds = 0;
+    t.error = "crash\n\"quoted\" \\path \x01tail";
+    a.results.push_back(t);
+  }
+  {
+    TrialResult t;
+    t.trial = 2;
+    t.seed = 103;
+    t.success = true;
+    t.duration_s = 890.5;
+    t.clock_shift_s = -500.125;
+    t.metric = 0.5;
+    t.fragments_planted = 28;
+    t.replant_rounds = 1;
+    a.results.push_back(t);
+  }
+  {
+    TrialResult t;
+    t.trial = 3;
+    t.seed = 104;
+    t.success = true;
+    t.duration_s = 1180.75;
+    t.clock_shift_s = -500.125;
+    t.metric = std::numeric_limits<double>::quiet_NaN();
+    t.fragments_planted = 36;
+    t.replant_rounds = 3;
+    a.results.push_back(t);
+  }
+  r.scenarios.push_back(std::move(a));
+
+  ScenarioAggregate b;
+  b.name = "sweep/\xce\xbc-mtu/\xe2\x98\x83";  // sweep/μ-mtu/☃
+  b.attack = "boot-time";
+  b.trials = 4;
+  b.successes = 0;
+  b.errors = 0;
+  b.success_rate = 0.0;
+  b.duration_mean_s = 0.0;
+  b.duration_p50_s = 0.0;
+  b.duration_p90_s = 0.0;
+  b.shift_mean_s = 0.0;
+  b.metric_mean = -0.25;
+  b.fragments_total = 0;
+  r.scenarios.push_back(std::move(b));
+
+  ScenarioAggregate c;
+  c.name = "edge/\"empty\"";
+  c.attack = "custom";
+  r.scenarios.push_back(std::move(c));
+
+  return r;
+}
+
+void expect_matches_golden(const std::string& fixture,
+                           const std::string& actual) {
+  const std::string path = golden_path(fixture);
+  if (update_mode()) write_file(path, actual);
+  EXPECT_EQ(read_file(path), actual)
+      << fixture << " drifted from the committed golden bytes; if the "
+      << "writer change is intentional, regenerate with "
+      << "DNSTIME_UPDATE_GOLDEN=1 and commit the fixture diff";
+}
+
+TEST(GoldenReport, FullJsonPinnedByteForByte) {
+  expect_matches_golden("report_full.json",
+                        golden_report().to_json(/*include_trials=*/true) +
+                            "\n");
+}
+
+TEST(GoldenReport, AggregatesJsonPinnedByteForByte) {
+  expect_matches_golden("report_aggregates.json",
+                        golden_report().to_json(/*include_trials=*/false) +
+                            "\n");
+}
+
+TEST(GoldenReport, TablePinnedByteForByte) {
+  expect_matches_golden("report.table", golden_report().to_table());
+}
+
+TEST(GoldenReport, FixtureParsesBackToTheSameReport) {
+  // The reader inverts the pinned bytes: golden fixture -> structs ->
+  // identical bytes. This is the full-circle contract the diff tool's
+  // baseline artifacts rely on.
+  const std::string fixture = read_file(golden_path("report_full.json"));
+  ASSERT_FALSE(fixture.empty());
+  CampaignReport parsed =
+      diff::parse_report(fixture, golden_path("report_full.json"));
+  EXPECT_EQ(parsed.to_json(/*include_trials=*/true) + "\n", fixture);
+
+  const std::string aggregates =
+      read_file(golden_path("report_aggregates.json"));
+  ASSERT_FALSE(aggregates.empty());
+  CampaignReport parsed_aggregates = diff::parse_report(aggregates);
+  EXPECT_EQ(parsed_aggregates.to_json(/*include_trials=*/false) + "\n",
+            aggregates);
+  EXPECT_TRUE(parsed_aggregates.scenarios[0].results.empty());
+}
+
+}  // namespace
+}  // namespace dnstime::campaign
