@@ -1,0 +1,420 @@
+// FROZEN pre-refactor packet path (PR 5 baseline) — do not "improve".
+//
+// This is a faithful, self-contained copy of the Bytes-based packet path as
+// it stood before the pooled-buffer refactor: vector-backed ByteWriter,
+// copying IPv4/UDP codecs, per-fragment payload copies in fragment(), and a
+// ReassemblyCache that stores payload copies and assembles via zero-fill +
+// copy. bench_netstack_bench runs identical workloads through this and
+// through the live net:: path so the speedup numbers in
+// BENCH_netstack.json compare against what the code actually did, and the
+// fragment/reassembly property test uses it as the behavioural oracle for
+// the zero-copy path.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace dnstime::bench_legacy {
+
+using Bytes = std::vector<u8>;
+
+class LegacyDecodeError : public std::runtime_error {
+ public:
+  explicit LegacyDecodeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// --- checksum (pre word-at-a-time) -----------------------------------------
+
+inline u16 ones_complement_sum(std::span<const u8> data) {
+  u32 sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (u32{data[i]} << 8) | u32{data[i + 1]};
+  }
+  if (i < data.size()) sum += u32{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(sum);
+}
+
+inline u16 ones_complement_add(u16 a, u16 b) {
+  u32 sum = u32{a} + u32{b};
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(sum);
+}
+
+inline u16 internet_checksum(std::span<const u8> data) {
+  return static_cast<u16>(~ones_complement_sum(data));
+}
+
+inline u16 pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst, u8 protocol,
+                             u16 length) {
+  u16 sum = 0;
+  sum = ones_complement_add(sum, static_cast<u16>(src.value() >> 16));
+  sum = ones_complement_add(sum, static_cast<u16>(src.value() & 0xFFFF));
+  sum = ones_complement_add(sum, static_cast<u16>(dst.value() >> 16));
+  sum = ones_complement_add(sum, static_cast<u16>(dst.value() & 0xFFFF));
+  sum = ones_complement_add(sum, u16{protocol});
+  sum = ones_complement_add(sum, length);
+  return sum;
+}
+
+// --- vector-backed writer/reader -------------------------------------------
+
+class ByteWriter {
+ public:
+  void write_u8(u8 v) { buf_.push_back(v); }
+  void write_u16(u16 v) {
+    buf_.push_back(static_cast<u8>(v >> 8));
+    buf_.push_back(static_cast<u8>(v));
+  }
+  void write_u32(u32 v) {
+    write_u16(static_cast<u16>(v >> 16));
+    write_u16(static_cast<u16>(v));
+  }
+  void write_bytes(std::span<const u8> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void patch_u16(std::size_t offset, u16 v) {
+    buf_[offset] = static_cast<u8>(v >> 8);
+    buf_[offset + 1] = static_cast<u8>(v);
+  }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+  [[nodiscard]] u8 read_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] u16 read_u16() {
+    require(2);
+    u16 v = (u16{data_[pos_]} << 8) | u16{data_[pos_ + 1]};
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] u32 read_u32() {
+    u32 hi = read_u16();
+    return (hi << 16) | read_u16();
+  }
+  [[nodiscard]] Bytes read_bytes(std::size_t n) {
+    require(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw LegacyDecodeError("seek out of range");
+    pos_ = pos;
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw LegacyDecodeError("truncated input");
+  }
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- IPv4 -------------------------------------------------------------------
+
+inline constexpr u8 kProtoUdp = 17;
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+
+struct Ipv4Packet {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  u16 id = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  u16 frag_offset_units = 0;
+  u8 ttl = 64;
+  u8 protocol = kProtoUdp;
+  Bytes payload;
+
+  [[nodiscard]] bool is_fragment() const {
+    return more_fragments || frag_offset_units != 0;
+  }
+  [[nodiscard]] std::size_t frag_offset_bytes() const {
+    return std::size_t{frag_offset_units} * 8;
+  }
+  [[nodiscard]] std::size_t total_length() const {
+    return kIpv4HeaderSize + payload.size();
+  }
+};
+
+inline Bytes encode(const Ipv4Packet& pkt) {
+  ByteWriter w;
+  w.write_u8(0x45);
+  w.write_u8(0);
+  w.write_u16(static_cast<u16>(pkt.total_length()));
+  w.write_u16(pkt.id);
+  u16 flags_frag = pkt.frag_offset_units & 0x1FFF;
+  if (pkt.dont_fragment) flags_frag |= 0x4000;
+  if (pkt.more_fragments) flags_frag |= 0x2000;
+  w.write_u16(flags_frag);
+  w.write_u8(pkt.ttl);
+  w.write_u8(pkt.protocol);
+  w.write_u16(0);
+  w.write_u32(pkt.src.value());
+  w.write_u32(pkt.dst.value());
+  u16 csum = internet_checksum(std::span(w.data()).subspan(0, kIpv4HeaderSize));
+  w.patch_u16(10, csum);
+  w.write_bytes(pkt.payload);
+  return std::move(w).take();
+}
+
+inline Ipv4Packet decode_ipv4(std::span<const u8> data) {
+  ByteReader r(data);
+  u8 ver_ihl = r.read_u8();
+  if ((ver_ihl >> 4) != 4) throw LegacyDecodeError("not IPv4");
+  std::size_t header_len = std::size_t{static_cast<u8>(ver_ihl & 0x0F)} * 4;
+  if (header_len < kIpv4HeaderSize) throw LegacyDecodeError("bad IHL");
+  if (data.size() < header_len) throw LegacyDecodeError("truncated header");
+  if (internet_checksum(data.subspan(0, header_len)) != 0) {
+    throw LegacyDecodeError("bad IPv4 header checksum");
+  }
+  (void)r.read_u8();
+  u16 total_len = r.read_u16();
+  if (total_len < header_len || total_len > data.size()) {
+    throw LegacyDecodeError("bad total length");
+  }
+  Ipv4Packet pkt;
+  pkt.id = r.read_u16();
+  u16 flags_frag = r.read_u16();
+  pkt.dont_fragment = (flags_frag & 0x4000) != 0;
+  pkt.more_fragments = (flags_frag & 0x2000) != 0;
+  pkt.frag_offset_units = flags_frag & 0x1FFF;
+  pkt.ttl = r.read_u8();
+  pkt.protocol = r.read_u8();
+  (void)r.read_u16();
+  pkt.src = Ipv4Addr{r.read_u32()};
+  pkt.dst = Ipv4Addr{r.read_u32()};
+  r.seek(header_len);
+  pkt.payload = r.read_bytes(total_len - header_len);
+  return pkt;
+}
+
+// --- UDP --------------------------------------------------------------------
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpDatagram {
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  Bytes payload;
+};
+
+inline Bytes encode_udp_with_checksum(const UdpDatagram& dgram, u16 csum) {
+  ByteWriter w;
+  w.write_u16(dgram.src_port);
+  w.write_u16(dgram.dst_port);
+  w.write_u16(static_cast<u16>(kUdpHeaderSize + dgram.payload.size()));
+  w.write_u16(csum);
+  w.write_bytes(dgram.payload);
+  return std::move(w).take();
+}
+
+inline u16 udp_checksum(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
+  auto length = static_cast<u16>(kUdpHeaderSize + dgram.payload.size());
+  Bytes wire = encode_udp_with_checksum(dgram, 0);
+  u16 sum = pseudo_header_sum(src, dst, kProtoUdp, length);
+  sum = ones_complement_add(sum, ones_complement_sum(wire));
+  u16 csum = static_cast<u16>(~sum);
+  return csum == 0 ? 0xFFFF : csum;
+}
+
+inline Bytes encode_udp(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
+  return encode_udp_with_checksum(dgram, udp_checksum(dgram, src, dst));
+}
+
+inline UdpDatagram decode_udp(std::span<const u8> data, Ipv4Addr src,
+                              Ipv4Addr dst) {
+  ByteReader r(data);
+  UdpDatagram d;
+  d.src_port = r.read_u16();
+  d.dst_port = r.read_u16();
+  u16 length = r.read_u16();
+  if (length < kUdpHeaderSize || length > data.size()) {
+    throw LegacyDecodeError("bad UDP length");
+  }
+  u16 wire_csum = r.read_u16();
+  d.payload = r.read_bytes(length - kUdpHeaderSize);
+  if (wire_csum != 0) {
+    u16 sum = pseudo_header_sum(src, dst, kProtoUdp, length);
+    sum = ones_complement_add(sum, ones_complement_sum(data.subspan(0, length)));
+    if (static_cast<u16>(~sum) != 0) throw LegacyDecodeError("bad UDP checksum");
+  }
+  return d;
+}
+
+// --- fragmentation ----------------------------------------------------------
+
+[[nodiscard]] constexpr std::size_t fragment_payload_capacity(u16 mtu) {
+  if (mtu <= kIpv4HeaderSize) return 0;
+  return (static_cast<std::size_t>(mtu) - kIpv4HeaderSize) / 8 * 8;
+}
+
+inline std::vector<Ipv4Packet> fragment(const Ipv4Packet& full, u16 mtu) {
+  if (full.is_fragment()) throw LegacyDecodeError("refusing to re-fragment");
+  if (full.total_length() <= mtu) return {full};
+  if (full.dont_fragment) {
+    throw LegacyDecodeError("DF set but packet exceeds MTU");
+  }
+  std::size_t chunk = fragment_payload_capacity(mtu);
+  if (chunk == 0) throw LegacyDecodeError("MTU too small to fragment");
+
+  std::vector<Ipv4Packet> frags;
+  std::size_t offset = 0;
+  while (offset < full.payload.size()) {
+    std::size_t take = std::min(chunk, full.payload.size() - offset);
+    Ipv4Packet f;
+    f.src = full.src;
+    f.dst = full.dst;
+    f.id = full.id;
+    f.ttl = full.ttl;
+    f.protocol = full.protocol;
+    f.frag_offset_units = static_cast<u16>(offset / 8);
+    f.payload.assign(full.payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                     full.payload.begin() +
+                         static_cast<std::ptrdiff_t>(offset + take));
+    offset += take;
+    f.more_fragments = offset < full.payload.size();
+    frags.push_back(std::move(f));
+  }
+  return frags;
+}
+
+// --- reassembly -------------------------------------------------------------
+
+struct ReassemblyPolicy {
+  sim::Duration timeout = sim::Duration::seconds(30);
+  std::size_t max_datagrams_per_pair = 64;
+};
+
+class ReassemblyCache {
+ public:
+  explicit ReassemblyCache(ReassemblyPolicy policy = {}) : policy_(policy) {}
+
+  std::optional<Ipv4Packet> insert(const Ipv4Packet& frag, sim::Time now) {
+    Key key{frag.src, frag.dst, frag.protocol, frag.id};
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      if (count_pair(key) >= policy_.max_datagrams_per_pair) {
+        return std::nullopt;
+      }
+      Entry fresh;
+      fresh.first_seen = now;
+      it = entries_.emplace(key, std::move(fresh)).first;
+      pair_counts_[PairKey{key.src, key.dst, key.proto}]++;
+    }
+    Entry& entry = it->second;
+    if (!entry.parts.contains(frag.frag_offset_units)) {
+      entry.parts.emplace(frag.frag_offset_units, frag.payload);
+      if (!frag.more_fragments) {
+        entry.have_last = true;
+        entry.total_payload = frag.frag_offset_bytes() + frag.payload.size();
+      }
+    }
+    auto done = try_complete(key, entry);
+    if (done) erase_entry(it);
+    return done;
+  }
+
+  void expire(sim::Time now) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (now - it->second.first_seen >= policy_.timeout) {
+        it = erase_entry(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  struct Key {
+    Ipv4Addr src, dst;
+    u8 proto;
+    u16 id;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  struct Entry {
+    sim::Time first_seen;
+    std::map<u16, Bytes> parts;
+    bool have_last = false;
+    std::size_t total_payload = 0;
+  };
+  struct PairKey {
+    Ipv4Addr src, dst;
+    u8 proto;
+    friend auto operator<=>(const PairKey&, const PairKey&) = default;
+  };
+
+  std::optional<Ipv4Packet> try_complete(const Key& key, Entry& entry) {
+    if (!entry.have_last) return std::nullopt;
+    std::size_t covered = 0;
+    for (const auto& [offset_units, part] : entry.parts) {
+      std::size_t start = std::size_t{offset_units} * 8;
+      if (start > covered) return std::nullopt;
+      covered = std::max(covered, start + part.size());
+    }
+    if (covered < entry.total_payload) return std::nullopt;
+
+    Ipv4Packet full;
+    full.src = key.src;
+    full.dst = key.dst;
+    full.protocol = key.proto;
+    full.id = key.id;
+    full.payload.assign(entry.total_payload, 0);
+    for (const auto& [offset_units, part] : entry.parts) {
+      std::size_t start = std::size_t{offset_units} * 8;
+      // NOTE: the pre-refactor code underflowed `total - start` when a part
+      // began past the datagram end and wrote out of bounds; the frozen
+      // copy guards (skips) so the bench/oracle cannot corrupt memory. In-
+      // range behaviour is unchanged.
+      if (start >= entry.total_payload) break;
+      std::size_t n = std::min(part.size(), entry.total_payload - start);
+      std::copy_n(part.begin(), n,
+                  full.payload.begin() + static_cast<std::ptrdiff_t>(start));
+    }
+    return full;
+  }
+
+  std::size_t count_pair(const Key& key) const {
+    auto it = pair_counts_.find(PairKey{key.src, key.dst, key.proto});
+    return it == pair_counts_.end() ? 0 : it->second;
+  }
+
+  std::map<Key, Entry>::iterator erase_entry(
+      std::map<Key, Entry>::iterator it) {
+    auto cit = pair_counts_.find(
+        PairKey{it->first.src, it->first.dst, it->first.proto});
+    if (cit != pair_counts_.end() && --cit->second == 0) {
+      pair_counts_.erase(cit);
+    }
+    return entries_.erase(it);
+  }
+
+  ReassemblyPolicy policy_;
+  std::map<Key, Entry> entries_;
+  std::map<PairKey, std::size_t> pair_counts_;
+};
+
+}  // namespace dnstime::bench_legacy

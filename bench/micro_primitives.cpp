@@ -34,6 +34,17 @@ void BM_OnesComplementSum(benchmark::State& state) {
 }
 BENCHMARK(BM_OnesComplementSum)->Arg(64)->Arg(512)->Arg(1500);
 
+void BM_OnesComplementSumScalar(benchmark::State& state) {
+  // The pre-refactor byte-pair loop, kept as the oracle; compare against
+  // BM_OnesComplementSum (8 bytes per iteration) at the same sizes.
+  Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::ones_complement_sum_scalar(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnesComplementSumScalar)->Arg(64)->Arg(512)->Arg(1500);
+
 void BM_ChecksumCompensation(benchmark::State& state) {
   Bytes orig = random_bytes(64, 2);
   for (auto _ : state) {

@@ -1,0 +1,287 @@
+// Packet-path microbenchmark: the pooled zero-copy packet path (PacketBuf
+// payloads, header prepend into headroom, fragment slicing, pooled
+// reassembly) versus the frozen pre-refactor Bytes path in
+// legacy_packet_path.h, on the three shapes the paper's campaigns hammer:
+//
+//   flood             unfragmented small datagrams, serialize -> deliver ->
+//                     checksum-verify -> parse (NTP mode-3 floods,
+//                     rate-limit probes — the single hottest pattern);
+//   fragment_spray    a large datagram fragmented at the attack MTU, every
+//                     fragment through the reassembly cache, reassembled
+//                     and parsed (the §III fragment-spray path);
+//   request_response  small query out, fragmented response back through
+//                     reassembly (the resolver/nameserver transaction).
+//
+// Both sides do identical logical work through their own types; results go
+// to stdout and to a JSON file (default BENCH_netstack.json) with the same
+// shape as BENCH_eventloop.json, tracked per commit by the CI release-bench
+// job.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/buffer.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "legacy_packet_path.h"
+#include "net/fragmentation.h"
+#include "net/reassembly.h"
+#include "net/udp.h"
+
+namespace dnstime::bench {
+namespace {
+
+constexpr Ipv4Addr kSrc{198, 51, 100, 53};
+constexpr Ipv4Addr kDst{10, 53, 0, 1};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Bytes make_pattern(std::size_t n, u64 seed) {
+  Rng rng{seed};
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<u8>(rng.uniform(0, 255));
+  return out;
+}
+
+// --- the two paths, same logical work ---------------------------------------
+
+struct LegacyPath {
+  using Packet = bench_legacy::Ipv4Packet;
+  using Cache = bench_legacy::ReassemblyCache;
+
+  static Packet make_udp_packet(std::span<const u8> pattern, u16 id) {
+    bench_legacy::UdpDatagram d{
+        .src_port = 123,
+        .dst_port = 123,
+        .payload = bench_legacy::Bytes(pattern.begin(), pattern.end())};
+    Packet pkt;
+    pkt.src = kSrc;
+    pkt.dst = kDst;
+    pkt.id = id;
+    pkt.payload = bench_legacy::encode_udp(d, kSrc, kDst);
+    return pkt;
+  }
+  static std::vector<Packet> fragment(const Packet& pkt, u16 mtu) {
+    return bench_legacy::fragment(pkt, mtu);
+  }
+  static std::size_t parse(const Packet& pkt) {
+    return bench_legacy::decode_udp(pkt.payload, pkt.src, pkt.dst)
+        .payload.size();
+  }
+};
+
+struct PooledPath {
+  using Packet = net::Ipv4Packet;
+  using Cache = net::ReassemblyCache;
+
+  static Packet make_udp_packet(std::span<const u8> pattern, u16 id) {
+    ByteWriter w;
+    w.write_bytes(pattern);
+    Packet pkt;
+    pkt.src = kSrc;
+    pkt.dst = kDst;
+    pkt.id = id;
+    pkt.payload = net::encode_udp_buf(std::move(w).take_buf(), 123, 123,
+                                      kSrc, kDst);
+    return pkt;
+  }
+  static std::vector<Packet> fragment(const Packet& pkt, u16 mtu) {
+    return net::fragment(pkt, mtu);
+  }
+  static std::size_t parse(const Packet& pkt) {
+    return net::decode_udp_buf(pkt.payload, pkt.src, pkt.dst).payload.size();
+  }
+};
+
+// --- workloads ---------------------------------------------------------------
+
+/// Unfragmented datagram: serialize, deliver, verify + parse.
+template <class Path>
+u64 flood(u64 iterations, std::span<const u8> pattern) {
+  u64 packets = 0;
+  std::size_t consumed = 0;
+  for (u64 i = 0; i < iterations; ++i) {
+    auto pkt = Path::make_udp_packet(pattern, static_cast<u16>(i));
+    consumed += Path::parse(pkt);
+    packets++;
+  }
+  if (consumed == 0) std::abort();  // defeat over-optimisation
+  return packets;
+}
+
+/// Large datagram fragmented at `mtu`; every fragment through the
+/// reassembly cache; the completed datagram parsed.
+template <class Path>
+u64 fragment_spray(u64 iterations, std::span<const u8> pattern, u16 mtu) {
+  typename Path::Cache cache;
+  u64 packets = 0;
+  std::size_t consumed = 0;
+  for (u64 i = 0; i < iterations; ++i) {
+    auto pkt = Path::make_udp_packet(pattern, static_cast<u16>(i));
+    for (auto& frag : Path::fragment(pkt, mtu)) {
+      packets++;
+      if (auto full = cache.insert(frag, sim::Time{})) {
+        consumed += Path::parse(*full);
+      }
+    }
+  }
+  if (consumed == 0) std::abort();
+  return packets;
+}
+
+/// Small query out; fragmented response back through reassembly.
+template <class Path>
+u64 request_response(u64 iterations, std::span<const u8> query,
+                     std::span<const u8> response, u16 mtu) {
+  typename Path::Cache cache;
+  u64 packets = 0;
+  std::size_t consumed = 0;
+  for (u64 i = 0; i < iterations; ++i) {
+    auto q = Path::make_udp_packet(query, static_cast<u16>(2 * i));
+    consumed += Path::parse(q);
+    packets++;
+    auto r = Path::make_udp_packet(response, static_cast<u16>(2 * i + 1));
+    for (auto& frag : Path::fragment(r, mtu)) {
+      packets++;
+      if (auto full = cache.insert(frag, sim::Time{})) {
+        consumed += Path::parse(*full);
+      }
+    }
+  }
+  if (consumed == 0) std::abort();
+  return packets;
+}
+
+struct WorkloadResult {
+  std::string name;
+  u64 packets = 0;
+  double legacy_s = 0.0;
+  double new_s = 0.0;
+  [[nodiscard]] double legacy_pps() const {
+    return static_cast<double>(packets) / legacy_s;
+  }
+  [[nodiscard]] double new_pps() const {
+    return static_cast<double>(packets) / new_s;
+  }
+  [[nodiscard]] double speedup() const { return legacy_s / new_s; }
+};
+
+template <class Fn>
+double timed(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return seconds_since(start);
+}
+
+}  // namespace
+}  // namespace dnstime::bench
+
+int main(int argc, char** argv) {
+  using namespace dnstime;
+  using namespace dnstime::bench;
+
+  u64 scale = 400'000;
+  std::string out_path = "BENCH_netstack.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale N] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  header("packet path: pooled zero-copy vs pre-refactor copy path");
+
+  // 48 B = an NTP mode-3 query; 1172 B at MTU 296 = the attack's fragmented
+  // DNS response shape (5 fragments); 64 B / 900 B at MTU 576 = a DNS
+  // transaction with a fragmented answer.
+  Bytes flood_pattern = make_pattern(48, 1);
+  Bytes spray_pattern = make_pattern(1172, 2);
+  Bytes query_pattern = make_pattern(64, 3);
+  Bytes response_pattern = make_pattern(900, 4);
+
+  std::vector<WorkloadResult> results;
+  {
+    WorkloadResult r{.name = "flood"};
+    r.legacy_s = timed([&] { flood<LegacyPath>(scale, flood_pattern); });
+    r.new_s = timed([&] { flood<PooledPath>(scale, flood_pattern); });
+    r.packets = scale;
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{.name = "fragment_spray"};
+    u64 packets = 0;
+    r.legacy_s = timed([&] {
+      packets = fragment_spray<LegacyPath>(scale / 4, spray_pattern, 296);
+    });
+    r.new_s = timed([&] {
+      (void)fragment_spray<PooledPath>(scale / 4, spray_pattern, 296);
+    });
+    r.packets = packets;
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{.name = "request_response"};
+    u64 packets = 0;
+    r.legacy_s = timed([&] {
+      packets = request_response<LegacyPath>(scale / 4, query_pattern,
+                                             response_pattern, 576);
+    });
+    r.new_s = timed([&] {
+      (void)request_response<PooledPath>(scale / 4, query_pattern,
+                                         response_pattern, 576);
+    });
+    r.packets = packets;
+    results.push_back(r);
+  }
+
+  std::printf("  %-18s %12s %14s %14s %9s\n", "workload", "packets",
+              "legacy pkt/s", "new pkt/s", "speedup");
+  std::printf("  ");
+  for (int i = 0; i < 70; ++i) std::printf("-");
+  std::printf("\n");
+  double speedup_product = 1.0;
+  for (const WorkloadResult& r : results) {
+    std::printf("  %-18s %12llu %14.0f %14.0f %8.2fx\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.packets), r.legacy_pps(),
+                r.new_pps(), r.speedup());
+    speedup_product *= r.speedup();
+  }
+  double geomean = std::pow(speedup_product, 1.0 / results.size());
+  std::printf("  geomean speedup: %.2fx\n", geomean);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\":\"netstack\",\"scale\":%llu,\"workloads\":[",
+               static_cast<unsigned long long>(scale));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"name\":\"%s\",\"packets\":%llu,\"legacy_s\":%.4f,"
+                 "\"new_s\":%.4f,\"legacy_packets_per_sec\":%.0f,"
+                 "\"new_packets_per_sec\":%.0f,\"speedup\":%.3f}",
+                 i ? "," : "", r.name.c_str(),
+                 static_cast<unsigned long long>(r.packets), r.legacy_s,
+                 r.new_s, r.legacy_pps(), r.new_pps(), r.speedup());
+  }
+  std::fprintf(f, "],\"geomean_speedup\":%.3f}\n", geomean);
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -34,11 +34,11 @@ void CachePoisoner::fetch_template() {
   u16 port = stack_.ephemeral_port();
   auto got = std::make_shared<bool>(false);
   stack_.bind_udp(port, [this, got, port](const net::UdpEndpoint& from, u16,
-                                          const Bytes& payload) {
+                                          BufView payload) {
     if (from.addr != config_.ns_addr || *got) return;
     *got = true;
     stack_.unbind_udp(port);
-    template_response_ = payload;
+    template_response_ = payload.to_bytes();
     // Step 3 (§III-2/3): craft the spoofed fragment.
     CraftConfig cc;
     cc.ns_addr = config_.ns_addr;
@@ -53,7 +53,7 @@ void CachePoisoner::fetch_template() {
     }
     measure_ipid();
   });
-  stack_.send_udp(config_.ns_addr, port, kDnsPort, encode_dns(query));
+  stack_.send_udp(config_.ns_addr, port, kDnsPort, encode_dns_buf(query));
   // Retry if the template fetch is lost.
   stack_.loop().schedule_after(sim::Duration::seconds(2),
                                [this, got, port] {
@@ -123,7 +123,7 @@ void CachePoisoner::verify_poisoned(const dns::DnsName& name,
   auto finished = std::make_shared<bool>(false);
   stack_.bind_udp(port, [this, done, port, finished](
                             const net::UdpEndpoint&, u16,
-                            const Bytes& payload) {
+                            BufView payload) {
     if (*finished) return;
     *finished = true;
     stack_.unbind_udp(port);
@@ -139,7 +139,7 @@ void CachePoisoner::verify_poisoned(const dns::DnsName& name,
     }
     done(poisoned);
   });
-  stack_.send_udp(config_.resolver_addr, port, kDnsPort, encode_dns(probe));
+  stack_.send_udp(config_.resolver_addr, port, kDnsPort, encode_dns_buf(probe));
   stack_.loop().schedule_after(sim::Duration::seconds(2),
                                [this, done, port, finished] {
                                  if (*finished) return;

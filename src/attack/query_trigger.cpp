@@ -5,7 +5,7 @@ namespace dnstime::attack {
 SmtpServer::SmtpServer(net::NetStack& stack, Ipv4Addr resolver)
     : stack_(stack), stub_(stack, resolver) {
   stack_.bind_udp(kSmtpPort, [this](const net::UdpEndpoint& from, u16,
-                                    const Bytes& payload) {
+                                    BufView payload) {
     mails_++;
     // Greeting banner: what a port scan observes (§VIII-B3's "small
     // portscan for SMTP servers").
@@ -32,10 +32,10 @@ void QueryTrigger::via_open_resolver(net::NetStack& attacker,
   query.questions = {dns::DnsQuestion{name, dns::RrType::kA}};
   u16 port = attacker.ephemeral_port();
   attacker.bind_udp(port, [&attacker, port](const net::UdpEndpoint&, u16,
-                                            const Bytes&) {
+                                            BufView) {
     attacker.unbind_udp(port);
   });
-  attacker.send_udp(resolver, port, kDnsPort, encode_dns(query));
+  attacker.send_udp(resolver, port, kDnsPort, encode_dns_buf(query));
 }
 
 void QueryTrigger::via_smtp(net::NetStack& attacker, Ipv4Addr smtp_host,

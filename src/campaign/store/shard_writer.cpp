@@ -60,7 +60,7 @@ void ShardWriter::append(u32 scenario_index, const TrialResult& r) {
   frame.write_u32(static_cast<u32>(payload.size()));
   frame.write_u32(crc32(payload.data()));
   frame.write_bytes(payload.data());
-  const Bytes& bytes = frame.data();
+  std::span<const u8> bytes = frame.data();
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_.get()) !=
       bytes.size()) {
     throw_io("cannot append to journal shard", path_);

@@ -1,0 +1,136 @@
+#include "common/buffer.h"
+
+namespace dnstime {
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+std::size_t BufferPool::class_for(std::size_t capacity) {
+  std::size_t c = kMinClassShift;
+  while ((std::size_t{1} << c) < capacity) ++c;
+  return c - kMinClassShift;
+}
+
+BufferPool::Block* BufferPool::acquire(std::size_t capacity) {
+  stats_.outstanding++;
+  if (capacity > (std::size_t{1} << kMaxClassShift)) {
+    stats_.oversize_allocs++;
+    auto* b = static_cast<Block*>(::operator new(sizeof(Block) + capacity));
+    b->next_free = nullptr;
+    b->refcount = 1;
+    b->capacity = static_cast<u32>(capacity);
+    b->class_idx = kOversizeClass;
+    return b;
+  }
+  std::size_t cls = class_for(capacity);
+  if (Block* b = free_[cls]) {
+    free_[cls] = b->next_free;
+    stats_.pool_hits++;
+    stats_.cached_blocks--;
+    stats_.cached_bytes -= b->capacity;
+    b->next_free = nullptr;
+    b->refcount = 1;
+    return b;
+  }
+  stats_.fresh_allocs++;
+  std::size_t cap = std::size_t{1} << (cls + kMinClassShift);
+  auto* b = static_cast<Block*>(::operator new(sizeof(Block) + cap));
+  b->next_free = nullptr;
+  b->refcount = 1;
+  b->capacity = static_cast<u32>(cap);
+  b->class_idx = static_cast<u16>(cls);
+  return b;
+}
+
+void BufferPool::release(Block* b) {
+  stats_.outstanding--;
+  if (b->class_idx == kOversizeClass ||
+      stats_.cached_bytes + b->capacity > kMaxCachedBytes) {
+    ::operator delete(b);
+    return;
+  }
+  b->next_free = free_[b->class_idx];
+  free_[b->class_idx] = b;
+  stats_.cached_blocks++;
+  stats_.cached_bytes += b->capacity;
+}
+
+void BufferPool::trim() {
+  for (Block*& head : free_) {
+    while (head) {
+      Block* next = head->next_free;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+  stats_.cached_blocks = 0;
+  stats_.cached_bytes = 0;
+}
+
+PacketBuf PacketBuf::copy_of(std::span<const u8> data, std::size_t headroom) {
+  if (data.empty() && headroom == 0) return {};
+  BufferPool::Block* b = BufferPool::local().acquire(headroom + data.size());
+  u8* dst = b->data() + headroom;
+  if (!data.empty()) std::memcpy(dst, data.data(), data.size());
+  return PacketBuf{b, dst, data.size()};
+}
+
+PacketBuf PacketBuf::uninitialized(std::size_t n, std::size_t headroom) {
+  if (n == 0 && headroom == 0) return {};
+  BufferPool::Block* b = BufferPool::local().acquire(headroom + n);
+  return PacketBuf{b, b->data() + headroom, n};
+}
+
+PacketBuf PacketBuf::slice(std::size_t offset, std::size_t len) const {
+  if (offset > len_ || len > len_ - offset) {
+    throw std::out_of_range("PacketBuf::slice");
+  }
+  if (block_) block_->refcount++;
+  return PacketBuf{block_, data_ + offset, len};
+}
+
+void PacketBuf::ensure_unique() {
+  if (block_ == nullptr || block_->refcount == 1) return;
+  *this = copy_of(span(), kPacketHeadroom);
+}
+
+u8* PacketBuf::prepend(std::size_t n) {
+  if (block_ && block_->refcount == 1 && headroom() >= n) {
+    data_ -= n;
+    len_ += n;
+    return data_;
+  }
+  PacketBuf grown = uninitialized(n + len_, kPacketHeadroom);
+  if (len_ != 0) std::memcpy(grown.data_ + n, data_, len_);
+  *this = std::move(grown);
+  return data_;
+}
+
+void PacketBuf::resize(std::size_t n) {
+  if (n <= len_) {
+    len_ = n;
+    return;
+  }
+  if (block_ && block_->refcount == 1 && tailroom() >= n - len_) {
+    std::memset(data_ + len_, 0, n - len_);
+    len_ = n;
+    return;
+  }
+  PacketBuf grown = uninitialized(n, kPacketHeadroom);
+  if (len_ != 0) std::memcpy(grown.data_, data_, len_);
+  std::memset(grown.data_ + len_, 0, n - len_);
+  *this = std::move(grown);
+}
+
+void PacketBuf::assign(std::size_t n, u8 value) {
+  if (!(block_ && block_->refcount == 1 &&
+        block_->capacity - headroom() >= n)) {
+    *this = uninitialized(n, kPacketHeadroom);
+  }
+  len_ = n;
+  if (n != 0) std::memset(data_, value, n);
+}
+
+}  // namespace dnstime

@@ -1,5 +1,11 @@
 // Byte-buffer reader/writer used by all wire-format codecs (IPv4, UDP,
 // ICMP, DNS, NTP). All multi-byte integers are network (big-endian) order.
+//
+// ByteWriter appends into a pooled PacketBuf (common/buffer.h) and reserves
+// packet headroom by default, so a codec's output can have lower-layer
+// headers prepended in place — `take_buf()` is the zero-copy path the
+// netstack rides; `take()` keeps the legacy owned-vector contract for wire
+// crafting and persistence code.
 #pragma once
 
 #include <cstring>
@@ -9,11 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/types.h"
 
 namespace dnstime {
-
-using Bytes = std::vector<u8>;
 
 /// Thrown by codecs on malformed input. Decoders in this library never
 /// crash on attacker-controlled bytes; they throw this and the caller
@@ -23,43 +28,99 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Sequential big-endian writer appending to an owned buffer.
+/// Sequential big-endian writer appending to a pooled buffer.
 class ByteWriter {
  public:
-  void write_u8(u8 v) { buf_.push_back(v); }
+  explicit ByteWriter(std::size_t headroom = kPacketHeadroom)
+      : headroom_(headroom) {}
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  void write_u8(u8 v) {
+    if (cur_ == cap_end_) grow(1);
+    *cur_++ = v;
+  }
   void write_u16(u16 v) {
-    buf_.push_back(static_cast<u8>(v >> 8));
-    buf_.push_back(static_cast<u8>(v));
+    u8* p = reserve(2);
+    p[0] = static_cast<u8>(v >> 8);
+    p[1] = static_cast<u8>(v);
   }
   void write_u32(u32 v) {
-    write_u16(static_cast<u16>(v >> 16));
-    write_u16(static_cast<u16>(v));
+    u8* p = reserve(4);
+    p[0] = static_cast<u8>(v >> 24);
+    p[1] = static_cast<u8>(v >> 16);
+    p[2] = static_cast<u8>(v >> 8);
+    p[3] = static_cast<u8>(v);
   }
   void write_u64(u64 v) {
     write_u32(static_cast<u32>(v >> 32));
     write_u32(static_cast<u32>(v));
   }
   void write_bytes(std::span<const u8> data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    if (data.empty()) return;
+    u8* p = reserve(data.size());
+    std::memcpy(p, data.data(), data.size());
   }
   void write_string(const std::string& s) {
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    if (s.empty()) return;
+    u8* p = reserve(s.size());
+    std::memcpy(p, s.data(), s.size());
   }
 
   /// Overwrite a previously written 16-bit field (e.g. a length or checksum
-  /// computed after the payload is known).
+  /// computed after the payload is known). `offset` is relative to the
+  /// first written byte.
   void patch_u16(std::size_t offset, u16 v) {
-    if (offset + 2 > buf_.size()) throw DecodeError("patch_u16 out of range");
-    buf_[offset] = static_cast<u8>(v >> 8);
-    buf_[offset + 1] = static_cast<u8>(v);
+    if (offset + 2 > size()) throw DecodeError("patch_u16 out of range");
+    buf_.data()[offset] = static_cast<u8>(v >> 8);
+    buf_.data()[offset + 1] = static_cast<u8>(v);
   }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] Bytes take() && { return std::move(buf_); }
-  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(cur_ - buf_.data());
+  }
+  /// The bytes written so far.
+  [[nodiscard]] std::span<const u8> data() const {
+    return {static_cast<const PacketBuf&>(buf_).data(), size()};
+  }
+  /// Zero-copy: the pooled buffer, window = written bytes, headroom intact.
+  [[nodiscard]] PacketBuf take_buf() && {
+    buf_.set_size(size());
+    cur_ = cap_end_ = nullptr;
+    return std::move(buf_);
+  }
+  /// Legacy owned-vector contract (copies once).
+  [[nodiscard]] Bytes take() && {
+    Bytes out(data().begin(), data().end());
+    buf_ = PacketBuf{};
+    cur_ = cap_end_ = nullptr;
+    return out;
+  }
 
  private:
-  Bytes buf_;
+  [[nodiscard]] u8* reserve(std::size_t n) {
+    if (static_cast<std::size_t>(cap_end_ - cur_) < n) grow(n);
+    u8* p = cur_;
+    cur_ += n;
+    return p;
+  }
+  void grow(std::size_t need) {
+    std::size_t used = size();
+    std::size_t cap = used ? used * 2 : 160;
+    if (cap < used + need) cap = used + need;
+    PacketBuf bigger = PacketBuf::uninitialized(cap, headroom_);
+    if (used != 0) std::memcpy(bigger.data(), buf_.data(), used);
+    buf_ = std::move(bigger);
+    // The pool rounds capacity up to its size class; write into all of it.
+    buf_.set_size(buf_.size() + buf_.tailroom());
+    cur_ = buf_.data() + used;
+    cap_end_ = buf_.data() + buf_.size();
+  }
+
+  PacketBuf buf_;
+  u8* cur_ = nullptr;
+  u8* cap_end_ = nullptr;
+  std::size_t headroom_;
 };
 
 /// Sequential big-endian reader over a borrowed buffer.

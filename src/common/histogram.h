@@ -74,9 +74,16 @@ class EmpiricalCdf {
            static_cast<double>(samples_.size());
   }
 
+  /// Nearest-rank (lower) quantile: the sorted sample at index
+  /// floor(q * (n - 1)). No interpolation — the result is always an
+  /// observed sample; q = 0 is the minimum, q = 1 the maximum. `q` is
+  /// clamped to [0, 1] (out-of-range and NaN inputs used to index out of
+  /// bounds; NaN now clamps to 0).
   [[nodiscard]] double quantile(double q) const {
     sort_if_needed();
     if (samples_.empty()) return 0.0;
+    if (!(q > 0.0)) q = 0.0;  // also catches NaN
+    if (q > 1.0) q = 1.0;
     auto idx = static_cast<std::size_t>(
         q * static_cast<double>(samples_.size() - 1));
     return samples_[idx];

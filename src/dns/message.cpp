@@ -99,8 +99,9 @@ ResourceRecord read_record(ByteReader& r, Section section, std::size_t index,
 
 }  // namespace
 
-Bytes encode_dns(const DnsMessage& msg) {
-  ByteWriter w;
+namespace {
+
+void write_dns(ByteWriter& w, const DnsMessage& msg) {
   NameCompressor comp;
   w.write_u16(msg.id);
   u16 flags = 0;
@@ -124,7 +125,20 @@ Bytes encode_dns(const DnsMessage& msg) {
   for (const auto& rr : msg.answers) write_record(w, comp, rr);
   for (const auto& rr : msg.authority) write_record(w, comp, rr);
   for (const auto& rr : msg.additional) write_record(w, comp, rr);
+}
+
+}  // namespace
+
+Bytes encode_dns(const DnsMessage& msg) {
+  ByteWriter w;
+  write_dns(w, msg);
   return std::move(w).take();
+}
+
+PacketBuf encode_dns_buf(const DnsMessage& msg) {
+  ByteWriter w;
+  write_dns(w, msg);
+  return std::move(w).take_buf();
 }
 
 DnsMessage decode_dns(std::span<const u8> data,

@@ -64,6 +64,10 @@ struct RecordSpan {
 
 [[nodiscard]] Bytes encode_dns(const DnsMessage& msg);
 
+/// Encode into a pooled buffer with packet headroom — the payload the
+/// resolver/nameserver hot paths hand straight to NetStack::send_udp.
+[[nodiscard]] PacketBuf encode_dns_buf(const DnsMessage& msg);
+
 /// Decode a message. If `spans` is non-null it receives one entry per
 /// record in answer/authority/additional order.
 [[nodiscard]] DnsMessage decode_dns(std::span<const u8> data,

@@ -42,7 +42,7 @@ bool StaticZone::handle(const DnsQuestion& q, DnsMessage& response) {
 Nameserver::Nameserver(net::NetStack& stack, Config config)
     : stack_(stack), config_(config) {
   stack_.bind_udp(kDnsPort, [this](const net::UdpEndpoint& from, u16,
-                                   const Bytes& payload) {
+                                   BufView payload) {
     on_query(from, payload);
   });
 }
@@ -50,7 +50,7 @@ Nameserver::Nameserver(net::NetStack& stack, Config config)
 Nameserver::~Nameserver() { stack_.unbind_udp(kDnsPort); }
 
 void Nameserver::on_query(const net::UdpEndpoint& from,
-                          const Bytes& payload) {
+                          BufView payload) {
   DnsMessage query;
   try {
     query = decode_dns(payload);
@@ -85,7 +85,7 @@ void Nameserver::on_query(const net::UdpEndpoint& from,
     response.rcode = Rcode::kNxDomain;
   }
 
-  Bytes wire = encode_dns(response);
+  PacketBuf wire = encode_dns_buf(response);
   if (config_.force_fragment_mtu != 0) {
     stack_.send_udp_fragmented(from.addr, kDnsPort, from.port,
                                std::move(wire), config_.force_fragment_mtu);

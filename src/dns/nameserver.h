@@ -81,7 +81,7 @@ class Nameserver {
   [[nodiscard]] net::NetStack& stack() { return stack_; }
 
  private:
-  void on_query(const net::UdpEndpoint& from, const Bytes& payload);
+  void on_query(const net::UdpEndpoint& from, BufView payload);
 
   net::NetStack& stack_;
   Config config_;

@@ -10,7 +10,7 @@ namespace dnstime::dns {
 Resolver::Resolver(net::NetStack& stack, Config config)
     : stack_(stack), config_(std::move(config)) {
   stack_.bind_udp(kDnsPort, [this](const net::UdpEndpoint& from, u16,
-                                   const Bytes& payload) {
+                                   BufView payload) {
     on_client_query(from, payload);
   });
 }
@@ -29,7 +29,7 @@ void Resolver::add_zone_hint(const DnsName& apex,
 }
 
 void Resolver::on_client_query(const net::UdpEndpoint& from,
-                               const Bytes& payload) {
+                               BufView payload) {
   DnsMessage query;
   try {
     query = decode_dns(payload);
@@ -69,7 +69,7 @@ void Resolver::answer_from_cache(const net::UdpEndpoint& to, u16 id,
   resp.ra = true;
   resp.questions = {q};
   resp.answers = rrset;
-  stack_.send_udp(to.addr, kDnsPort, to.port, encode_dns(resp));
+  stack_.send_udp(to.addr, kDnsPort, to.port, encode_dns_buf(resp));
 }
 
 void Resolver::respond_empty(const net::UdpEndpoint& to, u16 id,
@@ -80,7 +80,7 @@ void Resolver::respond_empty(const net::UdpEndpoint& to, u16 id,
   resp.ra = true;
   resp.rcode = rcode;
   resp.questions = {q};
-  stack_.send_udp(to.addr, kDnsPort, to.port, encode_dns(resp));
+  stack_.send_udp(to.addr, kDnsPort, to.port, encode_dns_buf(resp));
 }
 
 void Resolver::start_upstream(const DnsQuestion& q,
@@ -127,7 +127,7 @@ void Resolver::send_upstream(Pending& p) {
   }
 
   stack_.bind_udp(p.src_port, [this, key](const net::UdpEndpoint& from, u16,
-                                          const Bytes& payload) {
+                                          BufView payload) {
     on_upstream_response(key, from, payload);
   });
 
@@ -135,7 +135,7 @@ void Resolver::send_upstream(Pending& p) {
   query.id = p.txid;
   query.rd = false;  // iterative upstream query
   query.questions = {p.question};
-  stack_.send_udp(p.upstream, p.src_port, kDnsPort, encode_dns(query));
+  stack_.send_udp(p.upstream, p.src_port, kDnsPort, encode_dns_buf(query));
 
   p.timeout.cancel();
   p.timeout = stack_.loop().schedule_after(
@@ -143,7 +143,7 @@ void Resolver::send_upstream(Pending& p) {
 }
 
 void Resolver::on_upstream_response(u64 key, const net::UdpEndpoint& from,
-                                    const Bytes& payload) {
+                                    BufView payload) {
   auto it = pending_.find(key);
   if (it == pending_.end()) return;
   Pending& p = it->second;
@@ -345,7 +345,7 @@ void StubResolver::resolve(const DnsName& name, RrType type, Callback cb,
 
   stack_.bind_udp(port, [txid, name, type, finish](
                             const net::UdpEndpoint&, u16,
-                            const Bytes& payload) {
+                            BufView payload) {
     DnsMessage resp;
     try {
       resp = decode_dns(payload);
@@ -364,7 +364,7 @@ void StubResolver::resolve(const DnsName& name, RrType type, Callback cb,
   query.id = txid;
   query.rd = true;
   query.questions = {DnsQuestion{name, type}};
-  stack_.send_udp(resolver_, port, kDnsPort, encode_dns(query));
+  stack_.send_udp(resolver_, port, kDnsPort, encode_dns_buf(query));
 
   stack_.loop().schedule_after(timeout,
                                [finish] { finish({}); });

@@ -116,7 +116,7 @@ FragScanResult scan_domain_fragmentation(const FragScanConfig& config) {
     Target* t = targets[i].get();
     u16 port = static_cast<u16>(1024 + (i % 60000));
     scanner.bind_udp(port, [t](const net::UdpEndpoint&, u16,
-                               const Bytes& payload) {
+                               BufView payload) {
       try {
         dns::DnsMessage resp = dns::decode_dns(payload);
         t->answered = true;
@@ -131,7 +131,7 @@ FragScanResult scan_domain_fragmentation(const FragScanConfig& config) {
     // TXT probe: elicits the domain's large response (the paper inflates
     // response sizes via long subdomains / record-rich names).
     query.questions = {dns::DnsQuestion{t->domain, dns::RrType::kTxt}};
-    scanner.send_udp(t->stack->addr(), port, kDnsPort, encode_dns(query));
+    scanner.send_udp(t->stack->addr(), port, kDnsPort, encode_dns_buf(query));
   }
   loop.run_for(sim::Duration::seconds(3));
 

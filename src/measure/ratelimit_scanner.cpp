@@ -57,7 +57,7 @@ RateLimitScanResult scan_pool_rate_limiting(
     scanner.bind_udp(port, [t, half, &loop, start = loop.now(),
                             spacing = config.query_spacing](
                                const net::UdpEndpoint&, u16,
-                               const Bytes& payload) {
+                               BufView payload) {
       ntp::NtpPacket resp;
       try {
         resp = ntp::decode_ntp(payload);
@@ -82,7 +82,7 @@ RateLimitScanResult scan_pool_rate_limiting(
             query.mode = ntp::Mode::kClient;
             query.tx_time = 1.0;
             scanner.send_udp(t->stack->addr(), port, kNtpPort,
-                             encode_ntp(query));
+                             encode_ntp_buf(query));
           });
     }
   }
@@ -93,7 +93,7 @@ RateLimitScanResult scan_pool_rate_limiting(
     Target* t = targets[i].get();
     u16 port = static_cast<u16>(40000 + (i % 20000));
     scanner.bind_udp(port, [t](const net::UdpEndpoint&, u16,
-                               const Bytes& payload) {
+                               BufView payload) {
       if (ntp::decode_config_response(payload)) t->config_answered = true;
     });
     scanner.send_udp(t->stack->addr(), port, kNtpPort,

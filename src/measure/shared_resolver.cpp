@@ -78,7 +78,7 @@ SharedResolverScanResult discover_shared_resolvers(
     Site* s = sp.get();
     u16 port = scanner.ephemeral_port();
     scanner.bind_udp(port, [s, &scanner, port](const net::UdpEndpoint&, u16,
-                                               const Bytes&) {
+                                               BufView) {
       s->found_open = true;
       scanner.unbind_udp(port);
     });
@@ -89,7 +89,7 @@ SharedResolverScanResult discover_shared_resolvers(
         dns::DnsName::from_string("open-" + s->token + ".scan.example"),
         dns::RrType::kA}};
     scanner.send_udp(s->resolver_stack->addr(), port, kDnsPort,
-                     encode_dns(q));
+                     encode_dns_buf(q));
   }
   loop.run_for(sim::Duration::seconds(5));
 
@@ -98,7 +98,7 @@ SharedResolverScanResult discover_shared_resolvers(
     Site* s = sp.get();
     u16 port = scanner.ephemeral_port();
     scanner.bind_udp(port, [s, &scanner, port](const net::UdpEndpoint&, u16,
-                                               const Bytes&) {
+                                               BufView) {
       s->found_smtp_host = true;
       scanner.unbind_udp(port);
     });

@@ -113,7 +113,7 @@ TimingProbeResult run_timing_probe(const TimingProbeConfig& config) {
             auto done = std::make_shared<bool>(false);
             prober.bind_udp(port, [t, &prober, port, sent, &loop, done](
                                       const net::UdpEndpoint&, u16,
-                                      const Bytes&) {
+                                      BufView) {
               if (*done) return;
               *done = true;
               prober.unbind_udp(port);
@@ -125,7 +125,7 @@ TimingProbeResult run_timing_probe(const TimingProbeConfig& config) {
             query.questions = {
                 dns::DnsQuestion{pool_ns_q, dns::RrType::kNs}};
             prober.send_udp(t->stack->addr(), port, kDnsPort,
-                            encode_dns(query));
+                            encode_dns_buf(query));
           });
     }
   }

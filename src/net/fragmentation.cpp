@@ -22,9 +22,9 @@ std::vector<Ipv4Packet> fragment(const Ipv4Packet& full, u16 mtu) {
     f.ttl = full.ttl;
     f.protocol = full.protocol;
     f.frag_offset_units = static_cast<u16>(offset / 8);
-    f.payload.assign(full.payload.begin() + static_cast<std::ptrdiff_t>(offset),
-                     full.payload.begin() +
-                         static_cast<std::ptrdiff_t>(offset + take));
+    // Zero-copy: each fragment's payload aliases the parent datagram's
+    // buffer (refcounted slice), so a spray of fragments shares one block.
+    f.payload = full.payload.slice(offset, take);
     offset += take;
     f.more_fragments = offset < full.payload.size();
     frags.push_back(std::move(f));

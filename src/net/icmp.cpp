@@ -4,8 +4,9 @@
 
 namespace dnstime::net {
 
-Bytes encode_icmp_frag_needed(const IcmpFragNeeded& msg) {
-  ByteWriter w;
+namespace {
+
+void write_icmp_frag_needed(ByteWriter& w, const IcmpFragNeeded& msg) {
   w.write_u8(kIcmpDestUnreachable);
   w.write_u8(kIcmpCodeFragNeeded);
   w.write_u16(0);  // checksum placeholder
@@ -18,13 +19,17 @@ Bytes encode_icmp_frag_needed(const IcmpFragNeeded& msg) {
   orig.src = msg.orig_src;
   orig.dst = msg.orig_dst;
   orig.protocol = msg.orig_protocol;
-  orig.payload = Bytes(8, 0);
-  w.write_bytes(encode(orig));
-  Bytes out = std::move(w).take();
-  u16 csum = internet_checksum(out);
-  out[2] = static_cast<u8>(csum >> 8);
-  out[3] = static_cast<u8>(csum);
-  return out;
+  orig.payload.assign(8, 0);
+  w.write_bytes(encode_buf(orig));
+  w.patch_u16(2, internet_checksum(w.data()));
+}
+
+}  // namespace
+
+Bytes encode_icmp_frag_needed(const IcmpFragNeeded& msg) {
+  ByteWriter w;
+  write_icmp_frag_needed(w, msg);
+  return std::move(w).take();
 }
 
 IcmpFragNeeded decode_icmp_frag_needed(std::span<const u8> data) {
@@ -53,8 +58,10 @@ Ipv4Packet make_frag_needed_packet(Ipv4Addr router, Ipv4Addr target,
   pkt.src = router;
   pkt.dst = target;
   pkt.protocol = kProtoIcmp;
-  pkt.payload = encode_icmp_frag_needed(
-      IcmpFragNeeded{.mtu = mtu, .orig_src = orig_src, .orig_dst = orig_dst});
+  ByteWriter w;
+  write_icmp_frag_needed(w, IcmpFragNeeded{.mtu = mtu, .orig_src = orig_src,
+                                           .orig_dst = orig_dst});
+  pkt.payload = std::move(w).take_buf();
   return pkt;
 }
 

@@ -4,8 +4,9 @@
 
 namespace dnstime::net {
 
-Bytes encode(const Ipv4Packet& pkt) {
-  ByteWriter w;
+namespace {
+
+void write_ipv4(ByteWriter& w, const Ipv4Packet& pkt) {
   w.write_u8(0x45);  // version 4, IHL 5 (no options)
   w.write_u8(0);     // DSCP/ECN
   w.write_u16(static_cast<u16>(pkt.total_length()));
@@ -19,10 +20,23 @@ Bytes encode(const Ipv4Packet& pkt) {
   w.write_u16(0);  // checksum placeholder
   w.write_u32(pkt.src.value());
   w.write_u32(pkt.dst.value());
-  u16 csum = internet_checksum(std::span(w.data()).subspan(0, kIpv4HeaderSize));
+  u16 csum = internet_checksum(w.data().subspan(0, kIpv4HeaderSize));
   w.patch_u16(10, csum);
   w.write_bytes(pkt.payload);
+}
+
+}  // namespace
+
+Bytes encode(const Ipv4Packet& pkt) {
+  ByteWriter w;
+  write_ipv4(w, pkt);
   return std::move(w).take();
+}
+
+PacketBuf encode_buf(const Ipv4Packet& pkt) {
+  ByteWriter w;
+  write_ipv4(w, pkt);
+  return std::move(w).take_buf();
 }
 
 Ipv4Packet decode_ipv4(std::span<const u8> data) {
@@ -52,7 +66,8 @@ Ipv4Packet decode_ipv4(std::span<const u8> data) {
   pkt.src = Ipv4Addr{r.read_u32()};
   pkt.dst = Ipv4Addr{r.read_u32()};
   r.seek(header_len);
-  pkt.payload = r.read_bytes(total_len - header_len);
+  pkt.payload =
+      PacketBuf::copy_of(data.subspan(header_len, total_len - header_len));
   return pkt;
 }
 

@@ -24,6 +24,11 @@ inline constexpr u16 kEthernetMtu = 1500;
 /// One IPv4 packet or fragment. `payload` holds the transport-layer bytes
 /// carried by *this fragment* (for offset > 0 that is a slice of the
 /// original datagram, not a valid transport header).
+///
+/// The payload is a pooled, reference-counted PacketBuf: copying a packet
+/// aliases its bytes (fragments are literal slices of the parent datagram's
+/// buffer) and mutation copies-on-write, so wire crafting code can edit a
+/// copy without disturbing in-flight aliases.
 struct Ipv4Packet {
   Ipv4Addr src;
   Ipv4Addr dst;
@@ -33,7 +38,7 @@ struct Ipv4Packet {
   u16 frag_offset_units = 0;  ///< offset in 8-byte units, as on the wire
   u8 ttl = 64;
   u8 protocol = kProtoUdp;
-  Bytes payload;
+  PacketBuf payload;
 
   [[nodiscard]] bool is_fragment() const {
     return more_fragments || frag_offset_units != 0;
@@ -48,6 +53,9 @@ struct Ipv4Packet {
 
 /// Encode to wire bytes, computing the header checksum.
 [[nodiscard]] Bytes encode(const Ipv4Packet& pkt);
+
+/// Encode into a pooled buffer (zero extra copies).
+[[nodiscard]] PacketBuf encode_buf(const Ipv4Packet& pkt);
 
 /// Decode from wire bytes; throws DecodeError on malformed input or a bad
 /// header checksum.

@@ -65,30 +65,34 @@ u16 NetStack::next_ipid(Ipv4Addr dst) {
 }
 
 void NetStack::send_udp(Ipv4Addr dst, u16 src_port, u16 dst_port,
-                        Bytes payload) {
-  UdpDatagram dgram{.src_port = src_port, .dst_port = dst_port,
-                    .payload = std::move(payload)};
+                        PacketBuf payload) {
   Ipv4Packet pkt;
   pkt.src = addr_;
   pkt.dst = dst;
   pkt.id = next_ipid(dst);
   pkt.protocol = kProtoUdp;
-  pkt.payload = encode_udp(dgram, addr_, dst);
-  for (auto& frag : fragment(pkt, path_mtu(dst))) {
+  pkt.payload = encode_udp_buf(std::move(payload), src_port, dst_port, addr_,
+                               dst);
+  u16 mtu = path_mtu(dst);
+  if (pkt.total_length() <= mtu) {
+    // Common case: no fragmentation, no fragment-vector allocation.
+    net_.send(std::move(pkt));
+    return;
+  }
+  for (auto& frag : fragment(pkt, mtu)) {
     net_.send(std::move(frag));
   }
 }
 
 void NetStack::send_udp_fragmented(Ipv4Addr dst, u16 src_port, u16 dst_port,
-                                   Bytes payload, u16 mtu) {
-  UdpDatagram dgram{.src_port = src_port, .dst_port = dst_port,
-                    .payload = std::move(payload)};
+                                   PacketBuf payload, u16 mtu) {
   Ipv4Packet pkt;
   pkt.src = addr_;
   pkt.dst = dst;
   pkt.id = next_ipid(dst);
   pkt.protocol = kProtoUdp;
-  pkt.payload = encode_udp(dgram, addr_, dst);
+  pkt.payload = encode_udp_buf(std::move(payload), src_port, dst_port, addr_,
+                               dst);
   // Force at least two fragments even when the datagram would fit: split
   // at an 8-byte boundary strictly inside the payload.
   u16 effective = mtu;
@@ -151,7 +155,7 @@ void NetStack::handle_transport(const Ipv4Packet& pkt) {
   if (pkt.protocol != kProtoUdp) return;
   UdpDatagram dgram;
   try {
-    dgram = decode_udp(pkt.payload, pkt.src, pkt.dst);
+    dgram = decode_udp_buf(pkt.payload, pkt.src, pkt.dst);
   } catch (const DecodeError&) {
     // A reassembled datagram with a forged fragment that was not checksum
     // compensated dies here — the §III-3 hurdle.
@@ -166,7 +170,7 @@ void NetStack::handle_transport(const Ipv4Packet& pkt) {
   // the executing lambda.
   UdpHandler handler = it->second;
   handler(UdpEndpoint{pkt.src, dgram.src_port}, dgram.dst_port,
-          dgram.payload);
+          BufView(dgram.payload));
 }
 
 void NetStack::handle_icmp(const Ipv4Packet& pkt) {

@@ -56,9 +56,12 @@ struct UdpEndpoint {
 
 class NetStack : public sim::PacketSink {
  public:
-  using UdpHandler =
-      std::function<void(const UdpEndpoint& from, u16 local_port,
-                         const Bytes& payload)>;
+  /// `payload` is a non-owning view into the delivered (possibly
+  /// reassembled) datagram; it is valid only for the duration of the call.
+  /// Handlers that keep bytes must copy (`payload.to_bytes()`) — see
+  /// src/net/README.md for the ownership rules.
+  using UdpHandler = std::function<void(const UdpEndpoint& from,
+                                        u16 local_port, BufView payload)>;
 
   NetStack(sim::Network& net, Ipv4Addr addr, StackConfig config, Rng rng);
   ~NetStack() override;
@@ -80,15 +83,17 @@ class NetStack : public sim::PacketSink {
   [[nodiscard]] u16 ephemeral_port();
 
   /// Send a UDP datagram from this host, fragmenting per the path MTU
-  /// registered for `dst`.
-  void send_udp(Ipv4Addr dst, u16 src_port, u16 dst_port, Bytes payload);
+  /// registered for `dst`. The UDP header is prepended into the payload
+  /// buffer's headroom (zero-copy for ByteWriter-built payloads; a `Bytes`
+  /// argument converts with one pooled copy).
+  void send_udp(Ipv4Addr dst, u16 src_port, u16 dst_port, PacketBuf payload);
 
   /// Send a UDP datagram deliberately fragmented to `mtu`, regardless of
   /// the path MTU. Models the study nameserver of §VIII-B1 which "always
   /// responds to DNS requests with fragmented packets, even if the size is
   /// way below the maximum MTU of the path".
   void send_udp_fragmented(Ipv4Addr dst, u16 src_port, u16 dst_port,
-                           Bytes payload, u16 mtu);
+                           PacketBuf payload, u16 mtu);
 
   /// Attacker API: inject a fully attacker-controlled packet (any source
   /// address, any fragment fields). This models raw-socket spoofing.

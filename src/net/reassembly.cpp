@@ -1,6 +1,7 @@
 #include "net/reassembly.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace dnstime::net {
 
@@ -55,12 +56,21 @@ std::optional<Ipv4Packet> ReassemblyCache::try_complete(const Key& key,
   full.dst = key.dst;
   full.protocol = key.proto;
   full.id = key.id;
-  full.payload.assign(entry.total_payload, 0);
+  // Assemble directly into one pooled buffer. Uninitialised is safe: the
+  // coverage check above proved the parts tile [0, total_payload) without
+  // holes, so every byte is written below (overlaps resolve in ascending
+  // offset order, same as the wire semantics of duplicate coverage).
+  full.payload = PacketBuf::uninitialized(entry.total_payload);
+  u8* out = full.payload.data();
   for (const auto& [offset_units, part] : entry.parts) {
     std::size_t start = std::size_t{offset_units} * 8;
+    // A part can start at/after the datagram end (a crafted fragment that
+    // overlaps past a shorter genuine last fragment); offsets ascend, so
+    // nothing further contributes. (The old copy path underflowed
+    // `total - start` here and wrote out of bounds.)
+    if (start >= entry.total_payload) break;
     std::size_t n = std::min(part.size(), entry.total_payload - start);
-    std::copy_n(part.begin(), n,
-                full.payload.begin() + static_cast<std::ptrdiff_t>(start));
+    if (n != 0) std::memcpy(out + start, part.data(), n);
   }
   completed_++;
   return full;

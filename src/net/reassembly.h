@@ -53,7 +53,10 @@ class ReassemblyCache {
   };
   struct Entry {
     sim::Time first_seen;
-    std::map<u16, Bytes> parts;  ///< offset-units -> payload slice
+    /// offset-units -> payload slice. PacketBuf values alias the arriving
+    /// fragments' buffers (refcount only, no byte copies); the single copy
+    /// happens at completion, into one pooled output buffer.
+    std::map<u16, PacketBuf> parts;
     bool have_last = false;
     std::size_t total_payload = 0;  ///< known once the MF=0 fragment arrives
   };

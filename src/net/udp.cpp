@@ -6,22 +6,15 @@ namespace dnstime::net {
 
 namespace {
 
-Bytes encode_with_checksum(const UdpDatagram& dgram, u16 csum) {
-  ByteWriter w;
-  w.write_u16(dgram.src_port);
-  w.write_u16(dgram.dst_port);
-  w.write_u16(static_cast<u16>(kUdpHeaderSize + dgram.payload.size()));
-  w.write_u16(csum);
-  w.write_bytes(dgram.payload);
-  return std::move(w).take();
+void store_be16(u8* p, u16 v) {
+  p[0] = static_cast<u8>(v >> 8);
+  p[1] = static_cast<u8>(v);
 }
 
-}  // namespace
-
-u16 udp_checksum(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
-  auto length = static_cast<u16>(kUdpHeaderSize + dgram.payload.size());
-  Bytes wire = encode_with_checksum(dgram, 0);
-  u16 sum = pseudo_header_sum(src, dst, kProtoUdp, length);
+/// Checksum of a fully framed datagram (header csum field holds zero).
+u16 datagram_checksum(std::span<const u8> wire, Ipv4Addr src, Ipv4Addr dst) {
+  u16 sum = pseudo_header_sum(src, dst, kProtoUdp,
+                              static_cast<u16>(wire.size()));
   sum = ones_complement_add(sum, ones_complement_sum(wire));
   u16 csum = static_cast<u16>(~sum);
   // RFC 768: transmitted 0 means "no checksum"; an all-zero result is sent
@@ -29,11 +22,9 @@ u16 udp_checksum(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
   return csum == 0 ? 0xFFFF : csum;
 }
 
-Bytes encode_udp(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
-  return encode_with_checksum(dgram, udp_checksum(dgram, src, dst));
-}
-
-UdpDatagram decode_udp(std::span<const u8> data, Ipv4Addr src, Ipv4Addr dst) {
+/// Shared header parse + checksum verification; returns the payload range.
+std::pair<UdpDatagram, std::pair<std::size_t, std::size_t>> parse_udp(
+    std::span<const u8> data, Ipv4Addr src, Ipv4Addr dst) {
   ByteReader r(data);
   UdpDatagram d;
   d.src_port = r.read_u16();
@@ -43,12 +34,53 @@ UdpDatagram decode_udp(std::span<const u8> data, Ipv4Addr src, Ipv4Addr dst) {
     throw DecodeError("bad UDP length");
   }
   u16 wire_csum = r.read_u16();
-  d.payload = r.read_bytes(length - kUdpHeaderSize);
   if (wire_csum != 0) {
     u16 sum = pseudo_header_sum(src, dst, kProtoUdp, length);
     sum = ones_complement_add(sum, ones_complement_sum(data.subspan(0, length)));
     if (static_cast<u16>(~sum) != 0) throw DecodeError("bad UDP checksum");
   }
+  return {std::move(d), {kUdpHeaderSize, length - kUdpHeaderSize}};
+}
+
+}  // namespace
+
+u16 udp_checksum(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
+  ByteWriter w;
+  w.write_u16(dgram.src_port);
+  w.write_u16(dgram.dst_port);
+  w.write_u16(static_cast<u16>(kUdpHeaderSize + dgram.payload.size()));
+  w.write_u16(0);
+  w.write_bytes(dgram.payload);
+  return datagram_checksum(w.data(), src, dst);
+}
+
+PacketBuf encode_udp_buf(PacketBuf payload, u16 src_port, u16 dst_port,
+                         Ipv4Addr src, Ipv4Addr dst) {
+  PacketBuf dgram = std::move(payload);
+  u8* h = dgram.prepend(kUdpHeaderSize);
+  store_be16(h + 0, src_port);
+  store_be16(h + 2, dst_port);
+  store_be16(h + 4, static_cast<u16>(dgram.size()));
+  store_be16(h + 6, 0);
+  store_be16(h + 6, datagram_checksum(dgram.span(), src, dst));
+  return dgram;
+}
+
+Bytes encode_udp(const UdpDatagram& dgram, Ipv4Addr src, Ipv4Addr dst) {
+  return encode_udp_buf(dgram.payload, dgram.src_port, dgram.dst_port, src,
+                        dst)
+      .to_bytes();
+}
+
+UdpDatagram decode_udp(std::span<const u8> data, Ipv4Addr src, Ipv4Addr dst) {
+  auto [d, range] = parse_udp(data, src, dst);
+  d.payload = PacketBuf::copy_of(data.subspan(range.first, range.second));
+  return d;
+}
+
+UdpDatagram decode_udp_buf(const PacketBuf& wire, Ipv4Addr src, Ipv4Addr dst) {
+  auto [d, range] = parse_udp(wire.span(), src, dst);
+  d.payload = wire.slice(range.first, range.second);
   return d;
 }
 

@@ -23,7 +23,7 @@ void NtpClientBase::poll_server(Ipv4Addr server, PollCallback cb) {
 
   stack_.bind_udp(port, [this, t1, server, finish](
                             const net::UdpEndpoint& from, u16,
-                            const Bytes& payload) {
+                            BufView payload) {
     if (from.addr != server || from.port != kNtpPort) return;
     NtpPacket resp;
     try {
@@ -53,7 +53,7 @@ void NtpClientBase::poll_server(Ipv4Addr server, PollCallback cb) {
   NtpPacket query;
   query.mode = Mode::kClient;
   query.tx_time = t1;
-  stack_.send_udp(server, port, kNtpPort, encode_ntp(query));
+  stack_.send_udp(server, port, kNtpPort, encode_ntp_buf(query));
 
   stack_.loop().schedule_after(config_.poll_timeout,
                                [finish] { finish(PollResult{}); });

@@ -4,8 +4,9 @@
 
 namespace dnstime::ntp {
 
-Bytes encode_ntp(const NtpPacket& pkt) {
-  ByteWriter w;
+namespace {
+
+void write_ntp(ByteWriter& w, const NtpPacket& pkt) {
   w.write_u8(static_cast<u8>((pkt.leap << 6) | ((pkt.version & 0x7) << 3) |
                              (static_cast<u8>(pkt.mode) & 0x7)));
   w.write_u8(pkt.stratum);
@@ -18,7 +19,20 @@ Bytes encode_ntp(const NtpPacket& pkt) {
   w.write_u64(to_wire_timestamp(pkt.org_time));
   w.write_u64(to_wire_timestamp(pkt.rx_time));
   w.write_u64(to_wire_timestamp(pkt.tx_time));
+}
+
+}  // namespace
+
+Bytes encode_ntp(const NtpPacket& pkt) {
+  ByteWriter w;
+  write_ntp(w, pkt);
   return std::move(w).take();
+}
+
+PacketBuf encode_ntp_buf(const NtpPacket& pkt) {
+  ByteWriter w;
+  write_ntp(w, pkt);
+  return std::move(w).take_buf();
 }
 
 NtpPacket decode_ntp(std::span<const u8> data) {
@@ -59,15 +73,29 @@ bool is_config_request(std::span<const u8> data) {
   return data.size() == 2 && data[0] == kConfigMagicReq;
 }
 
-Bytes encode_config_response(const ConfigResponse& resp) {
-  ByteWriter w;
+namespace {
+
+void write_config_response(ByteWriter& w, const ConfigResponse& resp) {
   w.write_u8(kConfigMagicResp);
   w.write_u8(static_cast<u8>((4 << 3) | 6));
   w.write_u16(static_cast<u16>(resp.upstream_addrs.size()));
   for (auto addr : resp.upstream_addrs) w.write_u32(addr.value());
   w.write_u16(static_cast<u16>(resp.configured_hostname.size()));
   w.write_string(resp.configured_hostname);
+}
+
+}  // namespace
+
+Bytes encode_config_response(const ConfigResponse& resp) {
+  ByteWriter w;
+  write_config_response(w, resp);
   return std::move(w).take();
+}
+
+PacketBuf encode_config_response_buf(const ConfigResponse& resp) {
+  ByteWriter w;
+  write_config_response(w, resp);
+  return std::move(w).take_buf();
 }
 
 std::optional<ConfigResponse> decode_config_response(

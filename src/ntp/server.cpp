@@ -9,7 +9,7 @@ NtpServer::NtpServer(net::NetStack& stack, SystemClock& clock,
       config_(std::move(config)),
       limiter_(config_.rate_limit, stack.rng().fork()) {
   stack_.bind_udp(kNtpPort, [this](const net::UdpEndpoint& from, u16,
-                                   const Bytes& payload) {
+                                   BufView payload) {
     on_packet(from, payload);
   });
 }
@@ -17,7 +17,7 @@ NtpServer::NtpServer(net::NetStack& stack, SystemClock& clock,
 NtpServer::~NtpServer() { stack_.unbind_udp(kNtpPort); }
 
 void NtpServer::on_packet(const net::UdpEndpoint& from,
-                          const Bytes& payload) {
+                          BufView payload) {
   // Mode-6 configuration interface (if exposed).
   if (is_config_request(payload)) {
     if (config_.open_config_interface) {
@@ -25,7 +25,7 @@ void NtpServer::on_packet(const net::UdpEndpoint& from,
       if (upstream_ != kAnyAddr) resp.upstream_addrs.push_back(upstream_);
       resp.configured_hostname = config_.configured_hostname;
       stack_.send_udp(from.addr, kNtpPort, from.port,
-                      encode_config_response(resp));
+                      encode_config_response_buf(resp));
     }
     return;
   }
@@ -52,7 +52,7 @@ void NtpServer::on_packet(const net::UdpEndpoint& from,
       kod.refid = kKodRate;
       kod.poll = query.poll;
       kod.org_time = query.tx_time;
-      stack_.send_udp(from.addr, kNtpPort, from.port, encode_ntp(kod));
+      stack_.send_udp(from.addr, kNtpPort, from.port, encode_ntp_buf(kod));
       return;
     }
     case RateLimiter::Action::kRespond:
@@ -70,7 +70,7 @@ void NtpServer::on_packet(const net::UdpEndpoint& from,
   resp.rx_time = wall;
   resp.tx_time = wall;
   responses_++;
-  stack_.send_udp(from.addr, kNtpPort, from.port, encode_ntp(resp));
+  stack_.send_udp(from.addr, kNtpPort, from.port, encode_ntp_buf(resp));
 }
 
 }  // namespace dnstime::ntp

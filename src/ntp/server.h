@@ -50,7 +50,7 @@ class NtpServer {
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
  private:
-  void on_packet(const net::UdpEndpoint& from, const Bytes& payload);
+  void on_packet(const net::UdpEndpoint& from, BufView payload);
 
   net::NetStack& stack_;
   SystemClock& clock_;

@@ -37,7 +37,7 @@ TEST(RateLimitAbuser, VictimPollsGoUnanswered) {
   bool answered = false;
   u16 port = victim.stack->ephemeral_port();
   victim.stack->bind_udp(port, [&](const net::UdpEndpoint&, u16,
-                                   const Bytes& payload) {
+                                   BufView payload) {
     try {
       if (!ntp::decode_ntp(payload).is_kod()) answered = true;
     } catch (const DecodeError&) {
@@ -64,7 +64,7 @@ TEST(RateLimitAbuser, NonLimitingServerUnaffected) {
   bool answered = false;
   u16 port = victim.stack->ephemeral_port();
   victim.stack->bind_udp(port, [&](const net::UdpEndpoint&, u16,
-                                   const Bytes&) { answered = true; });
+                                   BufView) { answered = true; });
   ntp::NtpPacket query;
   query.mode = ntp::Mode::kClient;
   query.tx_time = 5.0;
@@ -86,7 +86,7 @@ TEST(RateLimitAbuser, OtherClientsCollateralFree) {
   bool answered = false;
   u16 port = bystander.stack->ephemeral_port();
   bystander.stack->bind_udp(port, [&](const net::UdpEndpoint&, u16,
-                                      const Bytes&) { answered = true; });
+                                      BufView) { answered = true; });
   ntp::NtpPacket query;
   query.mode = ntp::Mode::kClient;
   query.tx_time = 5.0;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/bytes.h"
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -103,6 +105,31 @@ TEST(EmpiricalCdf, FractionsAndQuantiles) {
   EXPECT_DOUBLE_EQ(cdf.fraction_leq(9.0), 1.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(EmpiricalCdf, QuantileClampsOutOfRangeArguments) {
+  // Nearest-rank contract: quantile(q) = sorted sample at floor(q*(n-1)),
+  // with q clamped to [0, 1]. Out-of-range q used to index out of bounds.
+  EmpiricalCdf cdf;
+  for (double v : {10.0, 20.0, 30.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1e9), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(std::numeric_limits<double>::quiet_NaN()),
+                   10.0);
+  // Interior values use floor (nearest rank, lower): 0.49 of n=3 -> index 0.
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.49), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+}
+
+TEST(EmpiricalCdf, QuantileOnEmptyAndSingleton) {
+  EmpiricalCdf empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EmpiricalCdf one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(2.0), 7.0);
 }
 
 TEST(SystemClock, TracksStepsAndSlews) {

@@ -18,9 +18,9 @@ TEST(NetStack, UdpDelivery) {
   TwoHosts h;
   Bytes got;
   UdpEndpoint from{};
-  h.b.bind_udp(53, [&](const UdpEndpoint& f, u16, const Bytes& p) {
+  h.b.bind_udp(53, [&](const UdpEndpoint& f, u16, BufView p) {
     from = f;
-    got = p;
+    got = p.to_bytes();
   });
   h.a.send_udp(h.b.addr(), 4444, 53, Bytes{1, 2, 3});
   h.loop.run_for(Duration::seconds(1));
@@ -32,7 +32,7 @@ TEST(NetStack, UdpDelivery) {
 TEST(NetStack, LargeDatagramFragmentsAndReassembles) {
   TwoHosts h;
   Bytes got;
-  h.b.bind_udp(53, [&](const UdpEndpoint&, u16, const Bytes& p) { got = p; });
+  h.b.bind_udp(53, [&](const UdpEndpoint&, u16, BufView p) { got = p.to_bytes(); });
   Bytes payload(4000, 0xAB);
   h.a.send_udp(h.b.addr(), 1, 53, payload);
   h.loop.run_for(Duration::seconds(1));
@@ -95,7 +95,7 @@ TEST(NetStack, FragmentRejectionPolicyDropsFragments) {
   NetStack a{net, Ipv4Addr{10, 0, 0, 1}, StackConfig{}, Rng{2}};
   NetStack b{net, Ipv4Addr{10, 0, 0, 2}, no_frags, Rng{3}};
   bool got = false;
-  b.bind_udp(53, [&](const UdpEndpoint&, u16, const Bytes&) { got = true; });
+  b.bind_udp(53, [&](const UdpEndpoint&, u16, BufView) { got = true; });
   Bytes payload(4000, 1);
   a.send_udp(b.addr(), 1, 53, payload);
   loop.run_for(Duration::seconds(1));
@@ -111,7 +111,7 @@ TEST(NetStack, TinyFirstFragmentFilter) {
   NetStack a{net, Ipv4Addr{10, 0, 0, 1}, StackConfig{}, Rng{2}};
   NetStack b{net, Ipv4Addr{10, 0, 0, 2}, filter, Rng{3}};
   bool got = false;
-  b.bind_udp(53, [&](const UdpEndpoint&, u16, const Bytes&) { got = true; });
+  b.bind_udp(53, [&](const UdpEndpoint&, u16, BufView) { got = true; });
   a.send_udp_fragmented(b.addr(), 1, 53, Bytes(700, 1), 296);
   loop.run_for(Duration::seconds(1));
   EXPECT_FALSE(got);
@@ -124,7 +124,7 @@ TEST(NetStack, TinyFirstFragmentFilter) {
 TEST(NetStack, ForcedFragmentationAlwaysSplits) {
   TwoHosts h;
   Bytes got;
-  h.b.bind_udp(53, [&](const UdpEndpoint&, u16, const Bytes& p) { got = p; });
+  h.b.bind_udp(53, [&](const UdpEndpoint&, u16, BufView p) { got = p.to_bytes(); });
   // 100-byte payload fits any MTU but must still arrive in >= 2 fragments.
   h.a.send_udp_fragmented(h.b.addr(), 1, 53, Bytes(100, 7), 1500);
   h.loop.run_for(Duration::seconds(1));
@@ -144,7 +144,7 @@ TEST(NetStack, GlobalSequentialIpidIncrements) {
 TEST(NetStack, SpoofedRawPacketCarriesForgedSource) {
   TwoHosts h;
   UdpEndpoint from{};
-  h.b.bind_udp(123, [&](const UdpEndpoint& f, u16, const Bytes&) { from = f; });
+  h.b.bind_udp(123, [&](const UdpEndpoint& f, u16, BufView) { from = f; });
   NetStack attacker{h.net, Ipv4Addr{6, 6, 6, 6}, StackConfig{}, Rng{4}};
   Ipv4Packet pkt;
   pkt.src = h.a.addr();  // forged: claims to be host a
