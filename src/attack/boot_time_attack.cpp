@@ -1,5 +1,7 @@
 #include "attack/boot_time_attack.h"
 
+#include "obs/trace.h"
+
 namespace dnstime::attack {
 
 BootTimeAttack::BootTimeAttack(net::NetStack& attacker, BootTimeConfig config)
@@ -10,6 +12,7 @@ BootTimeAttack::BootTimeAttack(net::NetStack& attacker, BootTimeConfig config)
 void BootTimeAttack::run(std::function<void(const AttackOutcome&)> done) {
   done_ = std::move(done);
   started_ = stack_.now();
+  DNSTIME_TRACE_BEGIN(started_.ns(), "attack", "poison");
   poisoner_.start();
   if (config_.trigger != BootTimeConfig::Trigger::kNone) {
     // Give the first spray a moment to arm before forcing the query.
@@ -73,6 +76,7 @@ void BootTimeAttack::tick() {
 void BootTimeAttack::finish(bool success) {
   if (finished_) return;
   finished_ = true;
+  DNSTIME_TRACE_END(stack_.now().ns(), "attack", "poison");
   poisoner_.stop();
   AttackOutcome outcome;
   outcome.success = success;

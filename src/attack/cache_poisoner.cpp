@@ -2,6 +2,7 @@
 
 #include "attack/icmp_mtu_attack.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace dnstime::attack {
 
@@ -82,6 +83,7 @@ void CachePoisoner::replant() {
   rounds_++;
   // Spray fragments covering the IPID window expected during the next
   // replant interval.
+  const u64 planted_before = planted_;
   sim::Time mid = stack_.now() + config_.replant_interval / 2;
   for (u16 ipid : spray_window(prediction_, mid, config_.spray_width)) {
     net::Ipv4Packet frag = crafted_->fragment;
@@ -89,8 +91,11 @@ void CachePoisoner::replant() {
     stack_.send_raw(frag);
     planted_++;
   }
+  DNSTIME_TRACE_INSTANT(stack_.now().ns(), "attack", "spray",
+                        planted_ - planted_before);
   if (!armed_) {
     armed_ = true;
+    DNSTIME_TRACE_INSTANT(stack_.now().ns(), "attack", "armed");
     if (on_armed_) on_armed_();
   }
   // Refresh the IPID estimate with a single probe each round (the paper's

@@ -1,5 +1,7 @@
 #include "attack/chronos_attack.h"
 
+#include "obs/trace.h"
+
 namespace dnstime::attack {
 
 ChronosAttack::ChronosAttack(net::NetStack& attacker,
@@ -21,6 +23,8 @@ int ChronosAttack::max_tolerable_honest_rounds(std::size_t malicious_count) {
 }
 
 void ChronosAttack::inject_whitebox(dns::Resolver& resolver) const {
+  DNSTIME_TRACE_INSTANT(stack_.now().ns(), "attack", "poison-injected",
+                        static_cast<u64>(config_.malicious_ntp.size()));
   std::vector<dns::ResourceRecord> rrset;
   rrset.reserve(config_.malicious_ntp.size());
   for (Ipv4Addr addr : config_.malicious_ntp) {

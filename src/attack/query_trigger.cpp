@@ -1,5 +1,7 @@
 #include "attack/query_trigger.h"
 
+#include "obs/trace.h"
+
 namespace dnstime::attack {
 
 SmtpServer::SmtpServer(net::NetStack& stack, Ipv4Addr resolver)
@@ -35,12 +37,14 @@ void QueryTrigger::via_open_resolver(net::NetStack& attacker,
                                             BufView) {
     attacker.unbind_udp(port);
   });
+  DNSTIME_TRACE_INSTANT(attacker.now().ns(), "attack", "trigger");
   attacker.send_udp(resolver, port, kDnsPort, encode_dns_buf(query));
 }
 
 void QueryTrigger::via_smtp(net::NetStack& attacker, Ipv4Addr smtp_host,
                             const dns::DnsName& name) {
   std::string domain = name.to_string();
+  DNSTIME_TRACE_INSTANT(attacker.now().ns(), "attack", "trigger");
   attacker.send_udp(smtp_host, attacker.ephemeral_port(), kSmtpPort,
                     Bytes(domain.begin(), domain.end()));
 }

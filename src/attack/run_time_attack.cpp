@@ -1,6 +1,7 @@
 #include "attack/run_time_attack.h"
 
 #include "ntp/packet.h"
+#include "obs/trace.h"
 
 namespace dnstime::attack {
 
@@ -14,6 +15,9 @@ void RunTimeAttack::run(std::function<bool()> success_check,
   success_check_ = std::move(success_check);
   done_ = std::move(done);
   started_ = stack_.now();
+  // The time-shift phase: from here until finish() the attacker starves
+  // honest NTP and the victim coasts onto attacker time.
+  DNSTIME_TRACE_BEGIN(started_.ns(), "attack", "shift");
   discover();
   stack_.loop().schedule_after(config_.check_interval, [this] { tick(); });
 }
@@ -47,6 +51,7 @@ void RunTimeAttack::note_upstream(Ipv4Addr addr) {
     if (known == addr) return;
   }
   discovered_.push_back(addr);
+  DNSTIME_TRACE_INSTANT(stack_.now().ns(), "attack", "upstream-discovered");
   abuser_.disrupt(addr);
 }
 
@@ -100,6 +105,7 @@ void RunTimeAttack::tick() {
 void RunTimeAttack::finish(bool success) {
   if (finished_) return;
   finished_ = true;
+  DNSTIME_TRACE_END(stack_.now().ns(), "attack", "shift");
   abuser_.stop();
   AttackOutcome outcome;
   outcome.success = success;

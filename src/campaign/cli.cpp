@@ -6,6 +6,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
+
+#include "common/buffer.h"
+#include "common/log.h"
+#include "obs/counters.h"
 
 namespace dnstime::campaign {
 namespace {
@@ -13,7 +18,9 @@ namespace {
 void usage(const char* prog, bool scenario_flags) {
   std::fprintf(stderr,
                "usage: %s [--trials N] [--threads T] [--seed S]\n"
-               "       [--journal DIR] [--resume] [--out PATH] [--json]%s\n",
+               "       [--journal DIR] [--resume] [--out PATH] [--json]\n"
+               "       [--metrics] [--trace FILE] [--trace-index N]\n"
+               "       [--log-level trace|debug|info|warn|off]%s\n",
                prog, scenario_flags ? " [--filter PREFIX]" : "");
 }
 
@@ -29,6 +36,71 @@ bool parse_u64_token(const char* s, u64& out) {
   if (errno == ERANGE || *end != '\0') return false;
   out = v;
   return true;
+}
+
+/// Process-wide buffer-pool stats as JSON: totals plus a sparse per-class
+/// map keyed by block size (classes with no activity are omitted, so quiet
+/// size classes do not bloat the output).
+std::string buffer_pool_json() {
+  const BufferPool::Stats s = BufferPool::aggregate_stats();
+  std::string out = "{\"pool_hits\":" + std::to_string(s.pool_hits);
+  out += ",\"fresh_allocs\":" + std::to_string(s.fresh_allocs);
+  out += ",\"oversize_allocs\":" + std::to_string(s.oversize_allocs);
+  out += ",\"outstanding\":" + std::to_string(s.outstanding);
+  out += ",\"cached_blocks\":" + std::to_string(s.cached_blocks);
+  out += ",\"cached_bytes\":" + std::to_string(s.cached_bytes);
+  out += ",\"classes\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < BufferPool::kNumClasses; ++i) {
+    const BufferPool::Stats::PerClass& pc = s.classes[i];
+    if (pc.pool_hits == 0 && pc.fresh_allocs == 0 && pc.outstanding == 0 &&
+        pc.cached_blocks == 0) {
+      continue;
+    }
+    if (!first) out += ",";
+    first = false;
+    const std::size_t size = std::size_t{1}
+                             << (BufferPool::kMinClassShift + i);
+    out += "\"" + std::to_string(size) + "\":{";
+    out += "\"pool_hits\":" + std::to_string(pc.pool_hits);
+    out += ",\"fresh_allocs\":" + std::to_string(pc.fresh_allocs);
+    out += ",\"outstanding\":" + std::to_string(pc.outstanding);
+    out += ",\"cached_blocks\":" + std::to_string(pc.cached_blocks);
+    out += ",\"cached_bytes\":" + std::to_string(pc.cached_bytes);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+/// The --metrics JSON value: the registry snapshot's counters/histograms
+/// with the buffer-pool block spliced in as a third key.
+std::string metrics_json() {
+  std::string out = obs::Registry::instance().snapshot().to_json();
+  // snapshot JSON is a {"counters":...,"histograms":...} object; graft
+  // "buffer_pool" on before its closing brace.
+  out.pop_back();
+  out += ",\"buffer_pool\":" + buffer_pool_json() + "}";
+  return out;
+}
+
+/// The --metrics section for table reports.
+std::string metrics_table() {
+  std::string out = "\n== metrics ==\n";
+  out += obs::Registry::instance().snapshot().to_table();
+  const BufferPool::Stats s = BufferPool::aggregate_stats();
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "buffer pool: hits=%llu fresh=%llu oversize=%llu "
+                "outstanding=%llu cached=%llu blocks / %llu bytes\n",
+                static_cast<unsigned long long>(s.pool_hits),
+                static_cast<unsigned long long>(s.fresh_allocs),
+                static_cast<unsigned long long>(s.oversize_allocs),
+                static_cast<unsigned long long>(s.outstanding),
+                static_cast<unsigned long long>(s.cached_blocks),
+                static_cast<unsigned long long>(s.cached_bytes));
+  out += line;
+  return out;
 }
 
 }  // namespace
@@ -53,12 +125,19 @@ CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
       opts.config.resume = true;
       continue;
     }
+    if (std::strcmp(flag, "--metrics") == 0) {
+      opts.metrics = true;
+      continue;
+    }
     const bool takes_value =
         std::strcmp(flag, "--trials") == 0 ||
         std::strcmp(flag, "--threads") == 0 ||
         std::strcmp(flag, "--seed") == 0 ||
         std::strcmp(flag, "--journal") == 0 ||
         std::strcmp(flag, "--out") == 0 ||
+        std::strcmp(flag, "--trace") == 0 ||
+        std::strcmp(flag, "--trace-index") == 0 ||
+        std::strcmp(flag, "--log-level") == 0 ||
         (scenario_flags && std::strcmp(flag, "--filter") == 0);
     if (!takes_value) {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], flag);
@@ -104,6 +183,28 @@ CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
       opts.config.journal_dir = value;
     } else if (std::strcmp(flag, "--out") == 0) {
       opts.out = value;
+    } else if (std::strcmp(flag, "--trace") == 0) {
+      opts.config.trace_path = value;
+    } else if (std::strcmp(flag, "--trace-index") == 0) {
+      if (!parse_u64_token(value, parsed)) {
+        std::fprintf(stderr,
+                     "%s: invalid value '%s' for flag '--trace-index' "
+                     "(want a flattened trial index, "
+                     "scenario_index * trials + trial_index)\n",
+                     argv[0], value);
+        return fail();
+      }
+      opts.config.trace_index = parsed;
+    } else if (std::strcmp(flag, "--log-level") == 0) {
+      const std::optional<LogLevel> level = parse_log_level(value);
+      if (!level) {
+        std::fprintf(stderr,
+                     "%s: invalid value '%s' for flag '--log-level' "
+                     "(want trace, debug, info, warn or off)\n",
+                     argv[0], value);
+        return fail();
+      }
+      Logger::set_level(*level);
     } else {
       opts.filter = value;
     }
@@ -121,8 +222,15 @@ bool write_report(const CliOptions& opts, const CampaignReport& report) {
   // them — so their JSON serialises aggregates only. This also keeps the
   // output comparable across journaled runs, resumes and thread counts.
   const bool include_trials = opts.config.journal_dir.empty();
-  std::string text =
-      opts.json ? report.to_json(include_trials) + "\n" : report.to_table();
+  std::string text;
+  if (opts.json) {
+    text = report.to_json(include_trials,
+                          opts.metrics ? metrics_json() : std::string{}) +
+           "\n";
+  } else {
+    text = report.to_table();
+    if (opts.metrics) text += metrics_table();
+  }
   if (opts.out.empty()) {
     if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size()) {
       std::fprintf(stderr, "failed writing report to stdout\n");

@@ -17,15 +17,19 @@ struct CliOptions {
   std::string filter;  ///< scenario name prefix (tools define the default)
   std::string out;     ///< --out: report destination path ("" = stdout)
   bool json = false;
+  bool metrics = false;  ///< --metrics: append process telemetry to report
   bool ok = true;  ///< false => a parse error was printed to stderr
 };
 
 /// Parses the shared campaign flags: --trials N, --threads T, --seed S,
-/// --journal DIR, --resume, --out PATH, --json and (when `scenario_flags`
-/// is set) --filter PREFIX. `defaults` seeds the returned options.
-/// Numeric values must be full unsigned-decimal tokens in range — garbage,
-/// trailing junk, negatives and overflow are reported like unknown flags
-/// (never silently parsed as 0), and --trials additionally rejects 0.
+/// --journal DIR, --resume, --out PATH, --json, --metrics, --trace FILE,
+/// --trace-index N, --log-level LEVEL and (when `scenario_flags` is set)
+/// --filter PREFIX. `defaults` seeds the returned options.
+/// --log-level applies immediately (Logger::set_level); --trace/--trace-index
+/// land in CampaignConfig::trace_path/trace_index. Numeric values must be
+/// full unsigned-decimal tokens in range — garbage, trailing junk,
+/// negatives and overflow are reported like unknown flags (never silently
+/// parsed as 0), and --trials additionally rejects 0.
 /// On any error, prints the problem and a usage line to stderr and
 /// returns ok = false.
 [[nodiscard]] CliOptions parse_cli(int argc, char** argv,
@@ -35,8 +39,12 @@ struct CliOptions {
 /// Writes the report — to_json() when opts.json, to_table() otherwise —
 /// to opts.out, or stdout when opts.out is empty. Journaled campaigns
 /// (config.journal_dir set) serialise aggregates only: the per-trial rows
-/// live in the journal and store::read_report() rebuilds them. Returns
-/// false (with a message on stderr) on I/O failure.
+/// live in the journal and store::read_report() rebuilds them. With
+/// opts.metrics, a telemetry section (obs registry snapshot + process-wide
+/// buffer-pool stats) is appended: a "metrics" key in JSON, a trailing
+/// block in table form. Without it, output is byte-identical to what the
+/// tool always produced. Returns false (with a message on stderr) on I/O
+/// failure.
 [[nodiscard]] bool write_report(const CliOptions& opts,
                                 const CampaignReport& report);
 

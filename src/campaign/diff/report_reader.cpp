@@ -317,6 +317,29 @@ class Parser {
     }
   }
 
+  /// Consumes any well-formed JSON value without interpreting it. The
+  /// optional "metrics" key holds process telemetry (wall times, pool hit
+  /// rates) whose schema is free to evolve; the diff compares simulation
+  /// results only, so it validates the value's syntax and discards it.
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      parse_object([&](const std::string&, std::size_t) {
+        skip_value();
+        return true;
+      });
+    } else if (c == '[') {
+      parse_array([&]() { skip_value(); });
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't' || c == 'f') {
+      parse_bool("skipped value");
+    } else {
+      parse_double_or_null("skipped value");
+    }
+  }
+
   /// Tracks required-key presence for one object and reports the first
   /// missing one at the object's opening brace.
   struct Required {
@@ -493,6 +516,8 @@ class Parser {
           }
           r.scenarios.push_back(std::move(s));
         });
+      } else if (key == "metrics") {
+        skip_value();
       } else {
         return false;
       }

@@ -88,7 +88,8 @@ ScenarioAggregate ScenarioAggregateBuilder::finish() && {
   return std::move(agg_);
 }
 
-std::string CampaignReport::to_json(bool include_trials) const {
+std::string CampaignReport::to_json(bool include_trials,
+                                    const std::string& metrics_json) const {
   std::string out;
   out += "{\"seed\":" + std::to_string(seed);
   out += ",\"trials_per_scenario\":" + std::to_string(trials_per_scenario);
@@ -136,7 +137,9 @@ std::string CampaignReport::to_json(bool include_trials) const {
     }
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  if (!metrics_json.empty()) out += ",\"metrics\":" + metrics_json;
+  out += "}";
   return out;
 }
 

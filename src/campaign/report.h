@@ -85,7 +85,14 @@ struct CampaignReport {
   std::vector<ScenarioAggregate> scenarios;  ///< scenario registration order
 
   /// Machine-readable form; stable key order and number formatting.
-  [[nodiscard]] std::string to_json(bool include_trials = true) const;
+  /// `metrics_json`, when non-empty, must be a complete JSON value; it is
+  /// appended verbatim as a trailing "metrics" key. Metrics are process
+  /// telemetry (wall times, pool hit rates), NOT simulation results — they
+  /// live outside the byte-identity contract, which is why the default
+  /// (empty) leaves the output byte-for-byte what it always was.
+  [[nodiscard]] std::string to_json(bool include_trials = true,
+                                    const std::string& metrics_json = {})
+      const;
   /// Human-readable summary table.
   [[nodiscard]] std::string to_table() const;
 };

@@ -1,6 +1,8 @@
 #include "campaign/runner.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <mutex>
@@ -13,6 +15,8 @@
 #include "campaign/store/shard_writer.h"
 #include "campaign/trial.h"
 #include "common/rng.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace dnstime::campaign {
 
@@ -45,12 +49,40 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
   const u32 trials = config_.trials;
   const std::size_t total = scenarios.size() * trials;
 
+  const bool tracing = !config_.trace_path.empty();
+  std::string trace_json;  // written only by the traced trial's worker
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
   std::mutex error_mutex;  // serialises progress_ and the error slots
   std::exception_ptr sink_error;      // first throw from sink, if any
   std::exception_ptr progress_error;  // first throw from progress_, if any
   auto worker = [&](u32 worker_id) {
+#if DNSTIME_OBS
+    // Wall-clock utilisation, exported once per worker on any exit path.
+    // These are the only wall-time metrics in the campaign and exist only
+    // in the (nondeterministic by nature) metrics section, never in the
+    // report body.
+    struct WallObs {
+      std::chrono::steady_clock::time_point start =
+          std::chrono::steady_clock::now();
+      u64 executed = 0;
+      double busy_s = 0.0;
+      ~WallObs() {
+        const double total_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        const double idle_s = total_s > busy_s ? total_s - busy_s : 0.0;
+        DNSTIME_COUNT("campaign.workers");
+        DNSTIME_COUNT_ADD("campaign.trials_executed", executed);
+        DNSTIME_COUNT_ADD("campaign.worker_busy_us",
+                          static_cast<u64>(busy_s * 1e6));
+        DNSTIME_COUNT_ADD("campaign.worker_idle_us",
+                          static_cast<u64>(idle_s * 1e6));
+      }
+    } wall;
+#endif
     for (std::size_t i = next.fetch_add(1); i < total;
          i = next.fetch_add(1)) {
       if (abort.load(std::memory_order_relaxed)) return;
@@ -62,18 +94,41 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
       ctx.campaign_seed = config_.seed;
       ctx.trial = trial_idx;
       ctx.seed = trial_seed(config_.seed, spec, trial_idx);
+#if DNSTIME_OBS
+      const auto trial_start = std::chrono::steady_clock::now();
+#endif
       TrialResult result;
-      try {
-        result = run_trial(spec, ctx);
-      } catch (const std::exception& e) {
-        result.trial = trial_idx;
-        result.seed = ctx.seed;
-        result.error = e.what();
-      } catch (...) {
-        result.trial = trial_idx;
-        result.seed = ctx.seed;
-        result.error = "unknown exception";
+      auto execute_trial = [&] {
+        try {
+          result = run_trial(spec, ctx);
+        } catch (const std::exception& e) {
+          result.trial = trial_idx;
+          result.seed = ctx.seed;
+          result.error = e.what();
+        } catch (...) {
+          result.trial = trial_idx;
+          result.seed = ctx.seed;
+          result.error = "unknown exception";
+        }
+      };
+      if (tracing && i == config_.trace_index) {
+        obs::TraceRecorder recorder;
+        recorder.set_meta(spec.name, config_.seed, trial_idx);
+        obs::ScopedTrace install(&recorder);
+        execute_trial();
+        trace_json = recorder.to_json();  // read after the pool joins
+      } else {
+        execute_trial();
       }
+#if DNSTIME_OBS
+      const double trial_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        trial_start)
+              .count();
+      wall.busy_s += trial_s;
+      wall.executed++;
+      DNSTIME_HIST("campaign.trial_wall_us", static_cast<u64>(trial_s * 1e6));
+#endif
       // Store the result before notifying: a throwing or slow progress
       // callback must never lose (or observe a not-yet-stored) trial.
       const TrialResult* stored = nullptr;
@@ -114,10 +169,44 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
   }
   if (sink_error) std::rethrow_exception(sink_error);
   if (progress_error) std::rethrow_exception(progress_error);
+
+  if (tracing) {
+    if (trace_json.empty()) {
+      // Resumed campaign whose traced trial was already journaled: nothing
+      // re-executed, so there is nothing to trace.
+      std::fprintf(stderr,
+                   "dnstime: trace index %llu was skipped (already "
+                   "journaled); no trace written to %s\n",
+                   static_cast<unsigned long long>(config_.trace_index),
+                   config_.trace_path.c_str());
+      return;
+    }
+    std::FILE* f = std::fopen(config_.trace_path.c_str(), "wb");
+    if (f == nullptr) {
+      throw std::runtime_error("cannot open trace file '" +
+                               config_.trace_path + "' for writing");
+    }
+    const std::size_t written =
+        std::fwrite(trace_json.data(), 1, trace_json.size(), f);
+    const bool ok = written == trace_json.size() && std::fclose(f) == 0;
+    if (!ok) {
+      throw std::runtime_error("short write to trace file '" +
+                               config_.trace_path + "'");
+    }
+  }
 }
 
 CampaignReport CampaignRunner::run(
     const std::vector<ScenarioSpec>& scenarios) const {
+  if (!config_.trace_path.empty()) {
+    const std::size_t total = scenarios.size() * config_.trials;
+    if (config_.trace_index >= total) {
+      throw std::invalid_argument(
+          "trace index " + std::to_string(config_.trace_index) +
+          " out of range: campaign has " + std::to_string(total) +
+          " trials (scenario_index * trials + trial_index)");
+    }
+  }
   return config_.journal_dir.empty() ? run_in_memory(scenarios)
                                      : run_journaled(scenarios);
 }

@@ -48,6 +48,16 @@ struct CampaignConfig {
   /// behind, and executes only the trials not yet journaled. Without
   /// resume, a journal directory that already contains shards is an error.
   bool resume = false;
+  /// Non-empty: record a sim-time trace of one trial (selected by
+  /// trace_index) and write it to this path as Chrome trace_event JSON
+  /// after the campaign finishes. Tracing never perturbs results: the
+  /// recorder observes sim time only, so the report stays byte-identical
+  /// with or without it.
+  std::string trace_path;
+  /// Flattened index of the traced trial, scenario_index * trials +
+  /// trial_index — deterministic regardless of which worker executes it.
+  /// run() throws std::invalid_argument when it is out of range.
+  u64 trace_index = 0;
 };
 
 class CampaignRunner {

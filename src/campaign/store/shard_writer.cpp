@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/counters.h"
+
 namespace dnstime::campaign::store {
 namespace {
 
@@ -47,6 +49,7 @@ void ShardWriter::open_and_write_header() {
       header_.size()) {
     throw_io("cannot write journal shard header", path_);
   }
+  bytes_written_ += header_.size();
 }
 
 void ShardWriter::append(u32 scenario_index, const TrialResult& r) {
@@ -73,6 +76,7 @@ void ShardWriter::append(u32 scenario_index, const TrialResult& r) {
     throw_io("cannot flush journal shard", path_);
   }
   records_++;
+  bytes_written_ += bytes.size();
 }
 
 void ShardWriter::close() {
@@ -80,6 +84,8 @@ void ShardWriter::close() {
   if (std::fclose(file_.release()) != 0) {
     throw_io("cannot close journal shard", path_);
   }
+  DNSTIME_COUNT_ADD("campaign.journal_bytes_written", bytes_written_);
+  DNSTIME_COUNT_ADD("campaign.journal_records_written", records_);
 }
 
 }  // namespace dnstime::campaign::store

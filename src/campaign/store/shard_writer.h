@@ -29,6 +29,8 @@ class ShardWriter {
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] u64 records() const { return records_; }
+  /// Bytes appended to the shard file so far (header + frames).
+  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
 
  private:
   void open_and_write_header();
@@ -38,6 +40,7 @@ class ShardWriter {
   std::vector<u64> hashes_;  ///< fnv1a(scenario name), by scenario index
   FilePtr file_;             ///< move-only ownership, closed on destroy
   u64 records_ = 0;
+  u64 bytes_written_ = 0;
 };
 
 }  // namespace dnstime::campaign::store

@@ -11,6 +11,7 @@
 #include "ntp/clients/chrony.h"
 #include "ntp/clients/ntpd.h"
 #include "ntp/clients/openntpd.h"
+#include "obs/trace.h"
 #include "scenario/world.h"
 
 namespace dnstime::campaign {
@@ -25,12 +26,14 @@ const Ipv4Addr kVictim{10, 77, 0, 1};
 /// first stage of every run-time trial. The poisoner lives in the caller's
 /// scope for the rest of the trial so replants keep the cache primed.
 void poison_delegation(World& world, attack::CachePoisoner& poisoner) {
+  DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "poison-delegation");
   poisoner.start();
   world.run_for(Duration::seconds(20));
   attack::QueryTrigger::via_open_resolver(
       world.attacker(), world.resolver_addr(),
       dns::DnsName::from_string("pool.ntp.org"));
   world.run_for(Duration::seconds(10));
+  DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "poison-delegation");
 }
 
 /// Advance the world in slices until `done` reports true or `budget` runs
@@ -78,8 +81,10 @@ TrialResult run_time_trial(const ScenarioSpec& spec, TrialResult result) {
           std::make_unique<ntp::OpenntpdClient>(*host.stack, host.clock, cfg);
       break;
   }
+  DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "honest-sync");
   client->start();
   world.run_for(Duration::minutes(12));
+  DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "honest-sync");
   if (host.clock.offset() < -1.0) {
     result.error = "victim failed to synchronise honestly before the attack";
     result.clock_shift_s = host.clock.offset();
@@ -161,8 +166,10 @@ TrialResult boot_time_trial(const ScenarioSpec& spec, TrialResult result) {
   ntp::ClientBaseConfig cfg;
   cfg.resolver = world.resolver_addr();
   ntp::NtpdClient client(*host.stack, host.clock, cfg);
+  DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "victim-boot");
   client.start();
   world.run_for(spec.stop.settle);
+  DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "victim-boot");
   result.clock_shift_s = host.clock.offset();
   result.success = result.clock_shift_s <= spec.stop.success_shift;
   return result;
@@ -183,8 +190,10 @@ TrialResult chronos_trial(const ScenarioSpec& spec, TrialResult result) {
   // the §VI-C closed form says the attacker wins iff N <= 11. N = 0
   // poisons before the first honest query completes.
   if (spec.chronos_honest_rounds > 0) {
+    DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "honest-rounds");
     world.run_for(Duration::hours(spec.chronos_honest_rounds - 1) +
                   Duration::minutes(30));
+    DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "honest-rounds");
   }
   attack::ChronosAttack attack(
       world.attacker(),
@@ -193,9 +202,11 @@ TrialResult chronos_trial(const ScenarioSpec& spec, TrialResult result) {
           .malicious_ntp = world.attacker_ntp_addrs()});
   attack.inject_whitebox(world.resolver());
 
+  DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "shift");
   Duration spent = run_until(
       world, spec.stop.deadline + spec.stop.settle, Duration::hours(1),
       [&] { return victim.clock.offset() <= spec.stop.success_shift; });
+  DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "shift");
 
   result.clock_shift_s = victim.clock.offset();
   result.success = result.clock_shift_s <= spec.stop.success_shift;

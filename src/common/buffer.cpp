@@ -1,6 +1,66 @@
 #include "common/buffer.h"
 
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
 namespace dnstime {
+namespace {
+
+/// Process-wide directory of live pools plus the folded stats of pools
+/// whose threads exited. Leaked on purpose: thread_local pool destructors
+/// can run after any static destructor would have.
+struct PoolRegistry {
+  std::mutex mutex;
+  std::vector<const BufferPool*> live;
+  BufferPool::Stats retired;
+
+  static PoolRegistry& instance() {
+    static PoolRegistry* const g = new PoolRegistry;
+    return *g;
+  }
+};
+
+}  // namespace
+
+void BufferPool::Stats::merge(const Stats& o) {
+  pool_hits += o.pool_hits;
+  fresh_allocs += o.fresh_allocs;
+  oversize_allocs += o.oversize_allocs;
+  outstanding += o.outstanding;
+  cached_blocks += o.cached_blocks;
+  cached_bytes += o.cached_bytes;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    classes[c].pool_hits += o.classes[c].pool_hits;
+    classes[c].fresh_allocs += o.classes[c].fresh_allocs;
+    classes[c].outstanding += o.classes[c].outstanding;
+    classes[c].cached_blocks += o.classes[c].cached_blocks;
+    classes[c].cached_bytes += o.classes[c].cached_bytes;
+  }
+}
+
+BufferPool::BufferPool() {
+  PoolRegistry& reg = PoolRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.live.push_back(this);
+}
+
+BufferPool::~BufferPool() {
+  trim();
+  PoolRegistry& reg = PoolRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.retired.merge(stats_);
+  auto it = std::find(reg.live.begin(), reg.live.end(), this);
+  if (it != reg.live.end()) reg.live.erase(it);
+}
+
+BufferPool::Stats BufferPool::aggregate_stats() {
+  PoolRegistry& reg = PoolRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  Stats total = reg.retired;
+  for (const BufferPool* p : reg.live) total.merge(p->stats_);
+  return total;
+}
 
 BufferPool& BufferPool::local() {
   thread_local BufferPool pool;
@@ -25,16 +85,22 @@ BufferPool::Block* BufferPool::acquire(std::size_t capacity) {
     return b;
   }
   std::size_t cls = class_for(capacity);
+  Stats::PerClass& pc = stats_.classes[cls];
+  pc.outstanding++;
   if (Block* b = free_[cls]) {
     free_[cls] = b->next_free;
     stats_.pool_hits++;
     stats_.cached_blocks--;
     stats_.cached_bytes -= b->capacity;
+    pc.pool_hits++;
+    pc.cached_blocks--;
+    pc.cached_bytes -= b->capacity;
     b->next_free = nullptr;
     b->refcount = 1;
     return b;
   }
   stats_.fresh_allocs++;
+  pc.fresh_allocs++;
   std::size_t cap = std::size_t{1} << (cls + kMinClassShift);
   auto* b = static_cast<Block*>(::operator new(sizeof(Block) + cap));
   b->next_free = nullptr;
@@ -46,8 +112,13 @@ BufferPool::Block* BufferPool::acquire(std::size_t capacity) {
 
 void BufferPool::release(Block* b) {
   stats_.outstanding--;
-  if (b->class_idx == kOversizeClass ||
-      stats_.cached_bytes + b->capacity > kMaxCachedBytes) {
+  if (b->class_idx == kOversizeClass) {
+    ::operator delete(b);
+    return;
+  }
+  Stats::PerClass& pc = stats_.classes[b->class_idx];
+  pc.outstanding--;
+  if (stats_.cached_bytes + b->capacity > kMaxCachedBytes) {
     ::operator delete(b);
     return;
   }
@@ -55,6 +126,8 @@ void BufferPool::release(Block* b) {
   free_[b->class_idx] = b;
   stats_.cached_blocks++;
   stats_.cached_bytes += b->capacity;
+  pc.cached_blocks++;
+  pc.cached_bytes += b->capacity;
 }
 
 void BufferPool::trim() {
@@ -67,6 +140,10 @@ void BufferPool::trim() {
   }
   stats_.cached_blocks = 0;
   stats_.cached_bytes = 0;
+  for (Stats::PerClass& pc : stats_.classes) {
+    pc.cached_blocks = 0;
+    pc.cached_bytes = 0;
+  }
 }
 
 PacketBuf PacketBuf::copy_of(std::span<const u8> data, std::size_t headroom) {

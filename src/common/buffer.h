@@ -27,6 +27,7 @@
 // results carry no buffers).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstring>
 #include <initializer_list>
@@ -48,21 +49,36 @@ inline constexpr std::size_t kPacketHeadroom = 32;
 /// Per-thread free-list allocator with power-of-two size classes.
 class BufferPool {
  public:
-  struct Stats {
-    u64 pool_hits = 0;       ///< acquires served from a free list
-    u64 fresh_allocs = 0;    ///< acquires that went to operator new
-    u64 oversize_allocs = 0; ///< requests beyond the largest class (unpooled)
-    u64 outstanding = 0;     ///< live blocks not yet released
-    u64 cached_blocks = 0;   ///< blocks parked on free lists
-    u64 cached_bytes = 0;    ///< capacity parked on free lists
-  };
-
   /// Size classes 2^6 .. 2^17 (64 B .. 128 KiB). Larger requests are served
   /// directly from the heap and never cached.
   static constexpr std::size_t kMinClassShift = 6;
   static constexpr std::size_t kMaxClassShift = 17;
   static constexpr std::size_t kNumClasses = kMaxClassShift - kMinClassShift + 1;
   static constexpr u16 kOversizeClass = 0xFFFF;
+
+  struct Stats {
+    /// Per-size-class slice of the counters below (class i holds blocks of
+    /// 2^(kMinClassShift + i) bytes). Oversize requests bypass the classes
+    /// and appear only in the totals.
+    struct PerClass {
+      u64 pool_hits = 0;
+      u64 fresh_allocs = 0;
+      u64 outstanding = 0;
+      u64 cached_blocks = 0;
+      u64 cached_bytes = 0;
+    };
+
+    u64 pool_hits = 0;       ///< acquires served from a free list
+    u64 fresh_allocs = 0;    ///< acquires that went to operator new
+    u64 oversize_allocs = 0; ///< requests beyond the largest class (unpooled)
+    u64 outstanding = 0;     ///< live blocks not yet released
+    u64 cached_blocks = 0;   ///< blocks parked on free lists
+    u64 cached_bytes = 0;    ///< capacity parked on free lists
+    std::array<PerClass, kNumClasses> classes{};
+
+    /// Element-wise accumulate (used by aggregate_stats()).
+    void merge(const Stats& o);
+  };
   /// Cap on bytes parked across all free lists; releases beyond it free.
   static constexpr std::size_t kMaxCachedBytes = std::size_t{4} << 20;
 
@@ -78,14 +94,22 @@ class BufferPool {
     }
   };
 
-  BufferPool() = default;
-  ~BufferPool() { trim(); }
+  BufferPool();
+  ~BufferPool();
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// The calling thread's pool. Campaign workers each get their own
   /// instance, so no acquire/release ever synchronises.
   static BufferPool& local();
+
+  /// Stats merged across every pool in the process: all live pools plus
+  /// the folded counters of pools whose threads have exited. Takes the
+  /// process-wide pool-registry lock; exact when other threads are not
+  /// mid-acquire (e.g. after campaign workers joined). This — not
+  /// local().stats() — is what campaign-level reporting must use: the
+  /// calling thread's pool sees none of the worker traffic.
+  [[nodiscard]] static Stats aggregate_stats();
 
   /// Allocate a block with at least `capacity` data bytes.
   [[nodiscard]] Block* acquire(std::size_t capacity);

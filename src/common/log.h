@@ -1,21 +1,49 @@
 // Minimal leveled logger. Experiments run millions of simulated packets, so
 // logging is compile-time cheap when disabled and never allocates on the
 // fast path unless the level is active.
+//
+// Thread contract: the level is an atomic — campaign workers check it while
+// the main thread (e.g. a --log-level flag handler) sets it — and each
+// record is emitted with a single write() to stderr, so records from
+// concurrent workers never interleave mid-line.
 #pragma once
 
-#include <iostream>
+#include <atomic>
+#include <cstdio>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace dnstime {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 
+/// Parses a --log-level value ("trace", "debug", "info", "warn", "off");
+/// nullopt on anything else.
+[[nodiscard]] inline std::optional<LogLevel> parse_log_level(
+    std::string_view s) {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 class Logger {
  public:
-  static LogLevel& level() {
-    static LogLevel lvl = LogLevel::kOff;
-    return lvl;
+  [[nodiscard]] static LogLevel level() {
+    return state().load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel l) {
+    state().store(l, std::memory_order_relaxed);
   }
   static bool enabled(LogLevel l) { return l >= level(); }
 
@@ -25,7 +53,31 @@ class Logger {
     std::ostringstream os;
     os << "[" << tag << "] ";
     (os << ... << args);
-    std::cerr << os.str() << "\n";
+    os << "\n";
+    emit(os.str());
+  }
+
+ private:
+  static std::atomic<LogLevel>& state() {
+    static std::atomic<LogLevel> lvl{LogLevel::kOff};
+    return lvl;
+  }
+
+  /// One syscall per record: concurrent workers' lines cannot interleave
+  /// (POSIX write() is atomic with respect to other write() calls for
+  /// ordinary-sized buffers on the same file).
+  static void emit(const std::string& record) {
+#if defined(_WIN32)
+    std::fwrite(record.data(), 1, record.size(), stderr);
+#else
+    std::size_t off = 0;
+    while (off < record.size()) {
+      const ::ssize_t n =
+          ::write(2, record.data() + off, record.size() - off);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+#endif
   }
 };
 

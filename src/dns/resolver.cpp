@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/log.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace dnstime::dns {
 
@@ -21,6 +23,21 @@ Resolver::~Resolver() {
     p.timeout.cancel();
     if (p.src_port != 0) stack_.unbind_udp(p.src_port);
   }
+  DNSTIME_COUNT_ADD("dns.client_queries", client_queries_);
+  DNSTIME_COUNT_ADD("dns.cache_hits", cache_hits_);
+  DNSTIME_COUNT_ADD("dns.cache_misses", cache_misses_);
+  DNSTIME_COUNT_ADD("dns.upstream_queries", upstream_queries_);
+  DNSTIME_COUNT_ADD("dns.validation_failures", validation_failures_);
+  DNSTIME_COUNT_ADD("dns.mismatched_responses", mismatched_);
+  DNSTIME_COUNT_ADD("dns.poisoned_served", poisoned_served_);
+}
+
+void Resolver::mark_tainted(std::vector<Ipv4Addr> addrs) {
+  tainted_.insert(tainted_.end(), addrs.begin(), addrs.end());
+}
+
+bool Resolver::is_tainted(Ipv4Addr addr) const {
+  return std::find(tainted_.begin(), tainted_.end(), addr) != tainted_.end();
 }
 
 void Resolver::add_zone_hint(const DnsName& apex,
@@ -51,6 +68,7 @@ void Resolver::on_client_query(const net::UdpEndpoint& from,
     answer_from_cache(from, query.id, q, *cached);
     return;
   }
+  cache_misses_++;
   if (!query.rd) {
     // RD=0 and not cached: answer without records. This non-destructive
     // distinction is what the Table IV cache-probing study keys on.
@@ -63,6 +81,15 @@ void Resolver::on_client_query(const net::UdpEndpoint& from,
 void Resolver::answer_from_cache(const net::UdpEndpoint& to, u16 id,
                                  const DnsQuestion& q,
                                  const std::vector<ResourceRecord>& rrset) {
+  if (!tainted_.empty()) {
+    for (const ResourceRecord& rr : rrset) {
+      if (rr.type == RrType::kA && is_tainted(rr.a)) {
+        poisoned_served_++;
+        DNSTIME_TRACE_INSTANT(stack_.now().ns(), "dns", "poisoned-served");
+        break;
+      }
+    }
+  }
   DnsMessage resp;
   resp.id = id;
   resp.qr = true;

@@ -55,16 +55,26 @@ class Resolver {
   /// cached delegation overrides it.
   void add_zone_hint(const DnsName& apex, std::vector<Ipv4Addr> addrs);
 
+  /// Observability: addresses that only an attacker would serve (the
+  /// scenario World registers its attacker NS + NTP hosts). A cached answer
+  /// carrying one of them bumps the poisoned_served counter — the
+  /// "poisoned-entry-served" signal in campaign metrics. Purely diagnostic:
+  /// resolution behaviour is unchanged.
+  void mark_tainted(std::vector<Ipv4Addr> addrs);
+
   [[nodiscard]] DnsCache& cache() { return cache_; }
   [[nodiscard]] const DnsCache& cache() const { return cache_; }
   [[nodiscard]] net::NetStack& stack() { return stack_; }
 
-  // Statistics for measurements/tests.
+  // Statistics for measurements/tests. Plain members on the query path;
+  // ~Resolver folds them into the obs registry under dns.*.
   [[nodiscard]] u64 client_queries() const { return client_queries_; }
   [[nodiscard]] u64 cache_hits() const { return cache_hits_; }
+  [[nodiscard]] u64 cache_misses() const { return cache_misses_; }
   [[nodiscard]] u64 upstream_queries() const { return upstream_queries_; }
   [[nodiscard]] u64 validation_failures() const { return validation_failures_; }
   [[nodiscard]] u64 mismatched_responses() const { return mismatched_; }
+  [[nodiscard]] u64 poisoned_served() const { return poisoned_served_; }
 
  private:
   struct Pending {
@@ -103,18 +113,23 @@ class Resolver {
   /// Cache every in-bailiwick RRset from the response.
   void cache_response(const DnsQuestion& q, const DnsMessage& response);
 
+  [[nodiscard]] bool is_tainted(Ipv4Addr addr) const;
+
   net::NetStack& stack_;
   Config config_;
   DnsCache cache_;
+  std::vector<Ipv4Addr> tainted_;
   std::vector<std::pair<DnsName, std::vector<Ipv4Addr>>> hints_;
   std::unordered_map<u64, Pending> pending_;
   u64 next_pending_key_ = 1;
   u16 seq_txid_ = 1;  // used when randomize_challenge is off
   u64 client_queries_ = 0;
   u64 cache_hits_ = 0;
+  u64 cache_misses_ = 0;
   u64 upstream_queries_ = 0;
   u64 validation_failures_ = 0;
   u64 mismatched_ = 0;
+  u64 poisoned_served_ = 0;
 };
 
 /// Stub resolver: the client-side DNS API every NTP client model uses.

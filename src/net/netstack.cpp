@@ -1,6 +1,8 @@
 #include "net/netstack.h"
 
 #include "common/log.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace dnstime::net {
 
@@ -20,6 +22,18 @@ NetStack::~NetStack() {
   destroyed_ = true;
   expiry_event_.cancel();
   net_.detach(addr_);
+  // Fold the per-stack hot-path counters into the process registry once,
+  // at teardown — one macro site per counter instead of one per packet.
+  DNSTIME_COUNT_ADD("net.udp_rx", udp_rx_);
+  DNSTIME_COUNT_ADD("net.udp_checksum_failures", udp_bad_csum_);
+  DNSTIME_COUNT_ADD("net.fragments_rx", fragments_rx_);
+  DNSTIME_COUNT_ADD("net.fragments_dropped", fragments_dropped_);
+  DNSTIME_COUNT_ADD("net.packets_tx", packets_tx_);
+  DNSTIME_COUNT_ADD("net.fragments_tx", fragments_tx_);
+  DNSTIME_COUNT_ADD("net.datagrams_fragmented", datagrams_fragmented_);
+  DNSTIME_COUNT_ADD("net.reasm_completed", reasm_.completed());
+  DNSTIME_COUNT_ADD("net.reasm_evicted_overflow", reasm_.evicted_overflow());
+  DNSTIME_COUNT_ADD("net.reasm_expired", reasm_.expired());
 }
 
 void NetStack::schedule_expiry() {
@@ -76,10 +90,14 @@ void NetStack::send_udp(Ipv4Addr dst, u16 src_port, u16 dst_port,
   u16 mtu = path_mtu(dst);
   if (pkt.total_length() <= mtu) {
     // Common case: no fragmentation, no fragment-vector allocation.
+    packets_tx_++;
     net_.send(std::move(pkt));
     return;
   }
+  datagrams_fragmented_++;
   for (auto& frag : fragment(pkt, mtu)) {
+    packets_tx_++;
+    fragments_tx_++;
     net_.send(std::move(frag));
   }
 }
@@ -102,12 +120,18 @@ void NetStack::send_udp_fragmented(Ipv4Addr dst, u16 src_port, u16 dst_port,
                                             : 8);
     effective = static_cast<u16>(kIpv4HeaderSize + std::max<std::size_t>(cap, 8));
   }
+  datagrams_fragmented_++;
   for (auto& frag : fragment(pkt, effective)) {
+    packets_tx_++;
+    fragments_tx_++;
     net_.send(std::move(frag));
   }
 }
 
-void NetStack::send_raw(Ipv4Packet pkt) { net_.send(std::move(pkt)); }
+void NetStack::send_raw(Ipv4Packet pkt) {
+  packets_tx_++;
+  net_.send(std::move(pkt));
+}
 
 u64 NetStack::add_packet_tap(PacketTap tap) {
   u64 token = next_tap_token_++;
@@ -188,6 +212,7 @@ void NetStack::handle_icmp(const Ipv4Packet& pkt) {
   u16 mtu = std::max(msg.mtu, config_.min_pmtu);
   if (mtu >= config_.default_mtu) return;
   path_mtu_[msg.orig_dst] = mtu;
+  DNSTIME_TRACE_INSTANT(now().ns(), "net", "pmtu-reduced", mtu);
   DNSTIME_LOG(kDebug, "netstack", addr_.to_string(), " PMTU to ",
               msg.orig_dst.to_string(), " reduced to ", mtu);
 }

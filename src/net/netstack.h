@@ -111,11 +111,18 @@ class NetStack : public sim::PacketSink {
 
   [[nodiscard]] u16 path_mtu(Ipv4Addr dst) const;
   [[nodiscard]] u16 current_ipid() const { return ipid_global_; }
-  /// Observed counters, used by tests and measurement tooling.
+  /// Observed counters, used by tests and measurement tooling. Kept as
+  /// plain members on the packet hot path; ~NetStack folds them (plus the
+  /// reassembly-cache counters) into the obs registry under net.*.
   [[nodiscard]] u64 udp_rx() const { return udp_rx_; }
   [[nodiscard]] u64 udp_checksum_failures() const { return udp_bad_csum_; }
   [[nodiscard]] u64 fragments_rx() const { return fragments_rx_; }
   [[nodiscard]] u64 fragments_dropped() const { return fragments_dropped_; }
+  [[nodiscard]] u64 packets_tx() const { return packets_tx_; }
+  [[nodiscard]] u64 fragments_tx() const { return fragments_tx_; }
+  [[nodiscard]] u64 datagrams_fragmented() const {
+    return datagrams_fragmented_;
+  }
   [[nodiscard]] ReassemblyCache& reassembly_cache() { return reasm_; }
 
  private:
@@ -139,6 +146,9 @@ class NetStack : public sim::PacketSink {
   u64 udp_bad_csum_ = 0;
   u64 fragments_rx_ = 0;
   u64 fragments_dropped_ = 0;
+  u64 packets_tx_ = 0;
+  u64 fragments_tx_ = 0;
+  u64 datagrams_fragmented_ = 0;
   sim::EventHandle expiry_event_;
   bool destroyed_ = false;
 };

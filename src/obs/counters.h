@@ -1,0 +1,142 @@
+// Process-wide metrics registry: cheap counters and log2-bucket histograms,
+// sharded per thread so the hot path never contends.
+//
+// Design rules (see src/obs/README.md for the full contract):
+//  * Recording is zero-allocation after the first touch of a (thread, tag)
+//    pair: a macro site resolves its tag to a stable id once (function-local
+//    static), then every hit is one relaxed read-modify-write on a cell that
+//    only the owning thread writes. No lock, no fetch_add, no branch on a
+//    sink being attached.
+//  * Cells are std::atomic<u64> written single-writer: the owner updates
+//    with relaxed load+store (compiles to plain add on x86/ARM), readers
+//    snapshot with relaxed loads. Exact totals require writer quiescence
+//    (snapshot after joining workers); mid-run snapshots are torn-free but
+//    may lag.
+//  * Counter totals are additive and histogram merges are order-independent,
+//    so a quiescent snapshot is identical at any thread count — metrics for
+//    a deterministic campaign are themselves deterministic, except for tags
+//    that record wall-clock time (named *_us / *_wall by convention).
+//  * DNSTIME_OBS=0 (cmake -DDNSTIME_OBS=OFF) compiles every macro to a
+//    no-op; the registry types remain so cold-path callers need no guards.
+//
+// Hot components (EventLoop, NetStack, Resolver, BufferPool) do NOT call
+// these macros per event: they keep plain member counters and fold them into
+// the registry once, in their destructors, via DNSTIME_COUNT_ADD. That keeps
+// the per-packet cost to a plain increment and is how the repo's <=2% bench
+// overhead budget is met.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+#ifndef DNSTIME_OBS
+#define DNSTIME_OBS 1
+#endif
+
+namespace dnstime::obs {
+
+/// Merged histogram state: count/sum/min/max plus log2 buckets (bucket i
+/// holds values whose bit width is i; value 0 lands in bucket 0).
+struct HistogramData {
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = ~u64{0};  ///< meaningful only when count > 0
+  u64 max = 0;
+  std::array<u64, 64> buckets{};
+
+  void merge(const HistogramData& o);
+};
+
+/// Point-in-time merge of every shard, name-sorted so rendering is
+/// deterministic.
+struct Snapshot {
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Value of a counter, 0 when absent (test/assertion helper).
+  [[nodiscard]] u64 counter(std::string_view name) const;
+  /// Histogram by name, nullptr when absent.
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
+
+  /// `{"counters":{...},"histograms":{...}}` — stable key order (sorted),
+  /// buckets rendered sparsely as {"<bit>":count}.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable rendering for table reports.
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// The process-wide registry. Use through the DNSTIME_COUNT / DNSTIME_HIST
+/// macros; direct calls are for cold paths that loop over dynamic tags.
+class Registry {
+ public:
+  using Id = u32;
+
+  /// Leaked singleton: worker threads fold their shards into it at thread
+  /// exit, which may happen after static destruction would have run.
+  static Registry& instance();
+
+  /// Resolve (registering on first use) a tag. Takes a mutex; call once per
+  /// site and cache the id. Tags are interned — the same string always maps
+  /// to the same id, across threads.
+  Id counter_id(std::string_view name);
+  Id histogram_id(std::string_view name);
+
+  /// Hot path: bump the calling thread's cell for `id` by `n`.
+  void add(Id id, u64 n);
+  /// Hot path: record one sample into the calling thread's histogram cells.
+  void record(Id id, u64 value);
+
+  /// Merge retired shards + all live shards. Exact when writers are
+  /// quiescent; torn-free (but possibly lagging) otherwise.
+  [[nodiscard]] Snapshot snapshot();
+
+  /// Zero every cell, live and retired. Test helper; requires quiescence.
+  void reset();
+
+  /// Implementation detail (public so counters.cpp's file-local helpers
+  /// can name it; not part of the API).
+  struct Impl;
+
+ private:
+  Registry() = default;
+  Impl& impl();
+};
+
+}  // namespace dnstime::obs
+
+#if DNSTIME_OBS
+
+/// Bump counter `tag` by 1. `tag` must be a constant expression convertible
+/// to std::string_view; the id lookup happens once per call site.
+#define DNSTIME_COUNT(tag) DNSTIME_COUNT_ADD(tag, 1)
+
+/// Bump counter `tag` by `n` (the dtor-export form hot components use).
+#define DNSTIME_COUNT_ADD(tag, n)                                         \
+  do {                                                                    \
+    static const ::dnstime::obs::Registry::Id dnstime_obs_id_ =           \
+        ::dnstime::obs::Registry::instance().counter_id(tag);             \
+    ::dnstime::obs::Registry::instance().add(                             \
+        dnstime_obs_id_, static_cast<::dnstime::u64>(n));                 \
+  } while (0)
+
+/// Record sample `v` into histogram `tag`.
+#define DNSTIME_HIST(tag, v)                                              \
+  do {                                                                    \
+    static const ::dnstime::obs::Registry::Id dnstime_obs_id_ =           \
+        ::dnstime::obs::Registry::instance().histogram_id(tag);           \
+    ::dnstime::obs::Registry::instance().record(                          \
+        dnstime_obs_id_, static_cast<::dnstime::u64>(v));                 \
+  } while (0)
+
+#else  // !DNSTIME_OBS
+
+#define DNSTIME_COUNT(tag) ((void)0)
+#define DNSTIME_COUNT_ADD(tag, n) ((void)0)
+#define DNSTIME_HIST(tag, v) ((void)0)
+
+#endif  // DNSTIME_OBS

@@ -1,0 +1,140 @@
+// Sim-time event tracer: begin/end spans and instant events recorded
+// against the simulation clock, serialised as Chrome trace_event JSON so a
+// trial's timeline opens directly in Perfetto or chrome://tracing.
+//
+// Determinism contract: events are timestamped with simulated nanoseconds
+// (the caller passes EventLoop ticks), names and categories are string
+// literals, and the writer's formatting is locale-free — so the same
+// (scenario, seed) produces byte-identical trace JSON at any thread count.
+// A trial runs on exactly one worker thread and only that thread's
+// recorder is installed, so recording takes no locks.
+//
+// Install a recorder for the current thread with ScopedTrace; the
+// DNSTIME_TRACE_* macros are no-ops (one thread_local load + branch) when
+// no recorder is installed, and compile out entirely under DNSTIME_OBS=0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/counters.h"  // for the DNSTIME_OBS default
+
+namespace dnstime::obs {
+
+/// Records one trial's timeline. Event capacity is bounded (kMaxEvents);
+/// overflow drops further events and is reported in the JSON metadata, so
+/// a pathological trial degrades instead of exhausting memory.
+class TraceRecorder {
+ public:
+  /// Chrome trace_event phases used here: B/E = span begin/end (must nest
+  /// per thread), i = instant.
+  enum class Phase : u8 { kBegin, kEnd, kInstant };
+
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Campaign context stamped into the JSON's otherData block.
+  void set_meta(std::string scenario, u64 seed, u32 trial);
+
+  /// `cat` and `name` must be string literals (or otherwise outlive the
+  /// recorder): events store the pointers, never copies.
+  void begin(i64 ts_ns, const char* cat, const char* name) {
+    push(ts_ns, cat, name, Phase::kBegin, 0, false);
+  }
+  void end(i64 ts_ns, const char* cat, const char* name) {
+    push(ts_ns, cat, name, Phase::kEnd, 0, false);
+  }
+  void instant(i64 ts_ns, const char* cat, const char* name) {
+    push(ts_ns, cat, name, Phase::kInstant, 0, false);
+  }
+  /// Instant with one numeric argument (rendered as args.value).
+  void instant(i64 ts_ns, const char* cat, const char* name, u64 value) {
+    push(ts_ns, cat, name, Phase::kInstant, value, true);
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] u64 dropped() const { return dropped_; }
+
+  /// Chrome trace_event JSON ("object format" with traceEvents +
+  /// otherData). ts is microseconds with nanosecond decimals.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Event {
+    const char* cat;
+    const char* name;
+    i64 ts_ns;
+    u64 value;
+    Phase phase;
+    bool has_value;
+  };
+
+  void push(i64 ts_ns, const char* cat, const char* name, Phase phase,
+            u64 value, bool has_value);
+
+  std::vector<Event> events_;
+  u64 dropped_ = 0;
+  std::string scenario_;
+  u64 seed_ = 0;
+  u32 trial_ = 0;
+  bool has_meta_ = false;
+};
+
+/// The calling thread's installed recorder, or nullptr. The macros test
+/// this, so untraced trials pay one thread_local read per site.
+[[nodiscard]] TraceRecorder* current_trace();
+
+/// Installs `recorder` as the calling thread's trace for the current
+/// scope, restoring the previous one (usually nullptr) on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceRecorder* recorder);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+}  // namespace dnstime::obs
+
+#if DNSTIME_OBS
+
+#define DNSTIME_TRACE_BEGIN(ts_ns, cat, name)                            \
+  do {                                                                   \
+    if (::dnstime::obs::TraceRecorder* dnstime_trace_ =                  \
+            ::dnstime::obs::current_trace()) {                           \
+      dnstime_trace_->begin((ts_ns), (cat), (name));                     \
+    }                                                                    \
+  } while (0)
+
+#define DNSTIME_TRACE_END(ts_ns, cat, name)                              \
+  do {                                                                   \
+    if (::dnstime::obs::TraceRecorder* dnstime_trace_ =                  \
+            ::dnstime::obs::current_trace()) {                           \
+      dnstime_trace_->end((ts_ns), (cat), (name));                       \
+    }                                                                    \
+  } while (0)
+
+#define DNSTIME_TRACE_INSTANT(ts_ns, cat, name, ...)                     \
+  do {                                                                   \
+    if (::dnstime::obs::TraceRecorder* dnstime_trace_ =                  \
+            ::dnstime::obs::current_trace()) {                           \
+      dnstime_trace_->instant((ts_ns), (cat), (name)__VA_OPT__(, )       \
+                                  __VA_ARGS__);                          \
+    }                                                                    \
+  } while (0)
+
+#else  // !DNSTIME_OBS
+
+#define DNSTIME_TRACE_BEGIN(ts_ns, cat, name) ((void)0)
+#define DNSTIME_TRACE_END(ts_ns, cat, name) ((void)0)
+#define DNSTIME_TRACE_INSTANT(ts_ns, cat, name, ...) ((void)0)
+
+#endif  // DNSTIME_OBS

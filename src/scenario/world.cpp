@@ -83,6 +83,12 @@ World::World(WorldConfig config)
     attacker_ntp_.push_back(std::move(ps));
   }
   attacker_nameserver_->add_zone(std::move(evil_zone));
+
+  // Observability: any cached answer the resolver serves that carries one
+  // of these addresses is a poisoned entry (dns.poisoned_served metric).
+  std::vector<Ipv4Addr> tainted = attacker_ntp_addrs();
+  tainted.push_back(attacker_ns_stack_->addr());
+  resolver_->mark_tainted(std::move(tainted));
 }
 
 std::vector<Ipv4Addr> World::pool_server_addrs() const {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/function.h"
+#include "obs/counters.h"
 #include "sim/time.h"
 
 namespace dnstime::sim {
@@ -65,7 +66,23 @@ class EventHandle {
 
 class EventLoop {
  public:
+  /// Lifetime counters, kept as plain members (one increment per event —
+  /// cheap enough for the schedule/fire hot path) and folded into the
+  /// obs registry once, at loop destruction.
+  struct Stats {
+    u64 scheduled = 0;  ///< events accepted by schedule_at
+    u64 fired = 0;      ///< callbacks actually run
+    u64 cancelled = 0;  ///< events popped in the cancelled state
+    u64 heap_peak = 0;  ///< high-water mark of the pending-event heap
+  };
+
   EventLoop() = default;
+  ~EventLoop() {
+    DNSTIME_COUNT_ADD("sim.events_scheduled", stats_.scheduled);
+    DNSTIME_COUNT_ADD("sim.events_fired", stats_.fired);
+    DNSTIME_COUNT_ADD("sim.events_cancelled", stats_.cancelled);
+    if (stats_.heap_peak != 0) DNSTIME_HIST("sim.heap_peak", stats_.heap_peak);
+  }
   // Pinned in place: EventHandles hold a pointer back to their loop, so
   // moving or copying the loop would silently invalidate every
   // outstanding handle. Deleting these makes the invariant
@@ -80,6 +97,8 @@ class EventLoop {
     if (at < now_) at = now_;
     const u32 slot = acquire_slot(std::move(fn));
     heap_push(Node{at, seq_++, slot});
+    stats_.scheduled++;
+    if (heap_.size() > stats_.heap_peak) stats_.heap_peak = heap_.size();
     return EventHandle{this, slot, slots_[slot].gen};
   }
 
@@ -105,6 +124,8 @@ class EventLoop {
 
   /// Queued events, including lazily-cancelled ones not yet popped.
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   friend class EventHandle;
@@ -145,7 +166,12 @@ class EventLoop {
     const bool cancelled = slots_[top.slot].cancelled;
     EventFn fn = std::move(slots_[top.slot].fn);
     release_slot(top.slot);
-    if (!cancelled) fn();
+    if (cancelled) {
+      stats_.cancelled++;
+      return;
+    }
+    stats_.fired++;
+    fn();
   }
 
   u32 acquire_slot(EventFn fn) {
@@ -213,6 +239,7 @@ class EventLoop {
   std::vector<Node> heap_;
   std::vector<Slot> slots_;
   u32 free_head_ = kNoSlot;
+  Stats stats_;
 };
 
 inline void EventHandle::cancel() {

@@ -1,0 +1,107 @@
+// TraceRecorder contracts: exact Chrome trace_event JSON (the format is
+// part of the determinism story — byte-identical traces require
+// byte-pinned rendering), scoped installation, and bounded capacity.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dnstime::obs {
+namespace {
+
+TEST(TraceRecorder, EmptyTraceIsValidObjectFormat) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.to_json(),
+            "{\"displayTimeUnit\":\"ms\","
+            "\"otherData\":{\"clock\":\"sim\",\"dropped_events\":0},"
+            "\"traceEvents\":[]}");
+}
+
+TEST(TraceRecorder, RendersSpansAndInstantsExactly) {
+  TraceRecorder rec;
+  rec.set_meta("table2/chrony", 41, 3);
+  rec.begin(0, "trial", "poison");
+  rec.instant(1234567, "attack", "spray", 16);
+  rec.end(2000000000, "trial", "poison");
+  EXPECT_EQ(
+      rec.to_json(),
+      "{\"displayTimeUnit\":\"ms\","
+      "\"otherData\":{\"scenario\":\"table2/chrony\",\"seed\":41,"
+      "\"trial\":3,\"clock\":\"sim\",\"dropped_events\":0},"
+      "\"traceEvents\":["
+      "{\"name\":\"poison\",\"cat\":\"trial\",\"ph\":\"B\",\"ts\":0.000,"
+      "\"pid\":1,\"tid\":1},"
+      "{\"name\":\"spray\",\"cat\":\"attack\",\"ph\":\"i\",\"ts\":1234.567,"
+      "\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"value\":16}},"
+      "{\"name\":\"poison\",\"cat\":\"trial\",\"ph\":\"E\","
+      "\"ts\":2000000.000,\"pid\":1,\"tid\":1}"
+      "]}");
+}
+
+TEST(TraceRecorder, TimestampKeepsNanosecondDecimals) {
+  TraceRecorder rec;
+  rec.instant(1, "t", "a");      // 0.001 us
+  rec.instant(999, "t", "b");    // 0.999 us
+  rec.instant(1000, "t", "c");   // 1.000 us
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"ts\":0.001"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.999"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(TraceRecorder, MetaStringIsEscaped) {
+  TraceRecorder rec;
+  rec.set_meta("weird\"name\\", 1, 0);
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"scenario\":\"weird\\\"name\\\\\""),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, CapacityBoundsDropsAndCounts) {
+  TraceRecorder rec;
+  const std::size_t over = TraceRecorder::kMaxEvents + 5;
+  for (std::size_t i = 0; i < over; ++i) rec.instant(0, "t", "x");
+  EXPECT_EQ(rec.size(), TraceRecorder::kMaxEvents);
+  EXPECT_EQ(rec.dropped(), 5u);
+  // The drop count surfaces in the metadata so a truncated trace is
+  // never mistaken for a complete one.
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"dropped_events\":5"), std::string::npos);
+}
+
+TEST(ScopedTrace, InstallsAndRestores) {
+  EXPECT_EQ(current_trace(), nullptr);
+  TraceRecorder outer;
+  {
+    ScopedTrace a(&outer);
+    EXPECT_EQ(current_trace(), &outer);
+    TraceRecorder inner;
+    {
+      ScopedTrace b(&inner);
+      EXPECT_EQ(current_trace(), &inner);
+    }
+    EXPECT_EQ(current_trace(), &outer);
+  }
+  EXPECT_EQ(current_trace(), nullptr);
+}
+
+TEST(ScopedTrace, MacrosRecordOnlyWhileInstalled) {
+  DNSTIME_TRACE_INSTANT(0, "t", "before");  // no recorder: must not crash
+  TraceRecorder rec;
+  {
+    ScopedTrace install(&rec);
+    DNSTIME_TRACE_BEGIN(0, "t", "span");
+    DNSTIME_TRACE_INSTANT(5, "t", "tick", 2);
+    DNSTIME_TRACE_END(10, "t", "span");
+  }
+  DNSTIME_TRACE_INSTANT(20, "t", "after");
+#if DNSTIME_OBS
+  EXPECT_EQ(rec.size(), 3u);
+#else
+  EXPECT_EQ(rec.size(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace dnstime::obs

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Instrumentation-overhead gate for the hot-path benches.
+
+Compares two runs of the same bench JSON (bench_eventloop_bench /
+bench_netstack_bench --out format): one built with the observability
+macros compiled in (the default build) and one with -DDNSTIME_OBS=OFF.
+The geometric-mean ratio of the instrumented build's per-workload "new"
+throughput to the uninstrumented build's must stay at or above the
+threshold (default 0.98, the repo's <=2% overhead budget).
+
+Usage:
+  check_bench_overhead.py INSTRUMENTED.json UNINSTRUMENTED.json \
+      [--threshold 0.98]
+
+Exit codes: 0 pass, 1 overhead budget exceeded, 2 usage/input error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def throughputs(report):
+    """Per-workload name -> new-path throughput (events or packets /sec)."""
+    out = {}
+    for w in report.get("workloads", []):
+        for key, value in w.items():
+            if key.startswith("new_") and key.endswith("_per_sec"):
+                out[w["name"]] = value
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("instrumented", help="bench JSON from the default build")
+    parser.add_argument("uninstrumented", help="bench JSON from -DDNSTIME_OBS=OFF")
+    parser.add_argument("--threshold", type=float, default=0.98,
+                        help="minimum geomean throughput ratio (default 0.98)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.instrumented) as f:
+            inst = json.load(f)
+        with open(args.uninstrumented) as f:
+            base = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    inst_tp, base_tp = throughputs(inst), throughputs(base)
+    common = sorted(set(inst_tp) & set(base_tp))
+    if not common:
+        print("error: no common workloads between the two reports",
+              file=sys.stderr)
+        return 2
+
+    log_sum = 0.0
+    print(f"{'workload':24} {'instrumented':>14} {'baseline':>14} {'ratio':>7}")
+    for name in common:
+        ratio = inst_tp[name] / base_tp[name]
+        log_sum += math.log(ratio)
+        print(f"{name:24} {inst_tp[name]:14.0f} {base_tp[name]:14.0f} "
+              f"{ratio:7.3f}")
+    geomean = math.exp(log_sum / len(common))
+    budget = (1.0 - args.threshold) * 100.0
+    print(f"{'geomean':24} {'':14} {'':14} {geomean:7.3f}  "
+          f"(budget: >= {args.threshold})")
+    if geomean < args.threshold:
+        print(f"FAIL: instrumentation overhead exceeds {budget:.0f}% budget",
+              file=sys.stderr)
+        return 1
+    print("OK: instrumentation overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
