@@ -1,0 +1,52 @@
+// libFuzzer harness: trial-journal record framing (campaign/store).
+//
+// The journal reader's tolerance contract says any byte damage inside a
+// frame surfaces as DecodeError (treated like a CRC mismatch); anything
+// else — crash, non-DecodeError exception, unbounded allocation from a
+// crafted length field — is a finding. The first input byte selects which
+// decoder runs (meta vs record), so one corpus covers both framings. On a
+// successful decode the codec must be canonical: re-encoding the decoded
+// value and decoding again reproduces identical bytes.
+#include <cstdint>
+#include <cstdlib>
+
+#include "campaign/store/journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace dnstime;
+  using namespace dnstime::campaign::store;
+  if (size == 0) return 0;
+  std::span<const u8> body{data + 1, size - 1};
+
+  if (data[0] & 1) {
+    ByteReader r(body);
+    DecodedRecord rec;
+    try {
+      rec = decode_record(r);
+    } catch (const DecodeError&) {
+      return 0;
+    }
+    ByteWriter w;
+    encode_record(w, rec.name_hash, rec.result);
+    Bytes first = std::move(w).take();
+    ByteReader r2(first);
+    DecodedRecord again = decode_record(r2);  // canonical bytes must decode
+    ByteWriter w2;
+    encode_record(w2, again.name_hash, again.result);
+    if (std::move(w2).take() != first) std::abort();  // codec not canonical
+  } else {
+    ByteReader r(body);
+    JournalMeta meta;
+    try {
+      meta = JournalMeta::decode(r);
+    } catch (const DecodeError&) {
+      return 0;
+    }
+    Bytes first = meta.encode();
+    ByteReader r2(first);
+    JournalMeta again = JournalMeta::decode(r2);
+    if (again.encode() != first) std::abort();  // codec not canonical
+    if (again.fingerprint() != meta.fingerprint()) std::abort();
+  }
+  return 0;
+}

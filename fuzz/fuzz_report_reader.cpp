@@ -1,0 +1,30 @@
+// libFuzzer harness: campaign report JSON parser (campaign/diff).
+//
+// parse_report is the strict recursive-descent parser that loads baseline
+// artifacts and diff inputs. Under fuzzing it must either return a report
+// or throw ParseError — no other exception, no crash, no hang on crafted
+// nesting. On success the emit/parse cycle must be a fixed point:
+// to_json(parse(to_json(r))) == to_json(r), which is the byte-identity
+// contract every golden-file test builds on.
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "campaign/diff/report_reader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace dnstime::campaign;
+  std::string_view json(reinterpret_cast<const char*>(data), size);
+  CampaignReport report;
+  try {
+    report = diff::parse_report(json, "<fuzz>");
+  } catch (const diff::ParseError&) {
+    return 0;
+  }
+  std::string first = report.to_json(true);
+  CampaignReport reparsed = diff::parse_report(first, "<fuzz:reparse>");
+  if (reparsed.to_json(true) != first) std::abort();  // emit not a fixed point
+  std::string aggregates = report.to_json(false);
+  (void)diff::parse_report(aggregates, "<fuzz:aggregates>");
+  return 0;
+}

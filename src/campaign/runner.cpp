@@ -64,12 +64,15 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
     // in the (nondeterministic by nature) metrics section, never in the
     // report body.
     struct WallObs {
+      // det-lint: allow(wallclock) worker-utilisation telemetry; feeds only
       std::chrono::steady_clock::time_point start =
+          // det-lint: allow(wallclock) the --metrics section, never a report
           std::chrono::steady_clock::now();
       u64 executed = 0;
       double busy_s = 0.0;
       ~WallObs() {
         const double total_s =
+            // det-lint: allow(wallclock) busy/idle telemetry, metrics-only
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
@@ -95,6 +98,7 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
       ctx.trial = trial_idx;
       ctx.seed = trial_seed(config_.seed, spec, trial_idx);
 #if DNSTIME_OBS
+      // det-lint: allow(wallclock) trial_wall_us histogram, metrics-only
       const auto trial_start = std::chrono::steady_clock::now();
 #endif
       TrialResult result;
@@ -122,6 +126,7 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
       }
 #if DNSTIME_OBS
       const double trial_s =
+          // det-lint: allow(wallclock) trial_wall_us histogram, metrics-only
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         trial_start)
               .count();

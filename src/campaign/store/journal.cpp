@@ -84,6 +84,11 @@ JournalMeta JournalMeta::decode(ByteReader& r) {
   meta.trials_per_scenario = r.read_u32();
   u32 count = r.read_u32();
   if (count > 1'000'000) throw DecodeError("implausible scenario count");
+  // Bound reserve() by what the input could actually hold (each scenario
+  // needs at least two u16 length fields): a crafted count field must not
+  // turn a 16-byte input into a multi-megabyte allocation before the
+  // truncation is even noticed.
+  if (count > r.remaining() / 4) throw DecodeError("scenario count overruns");
   meta.scenarios.reserve(count);
   for (u32 i = 0; i < count; ++i) {
     Scenario s;

@@ -43,6 +43,8 @@ struct DnsMessage {
   std::vector<ResourceRecord> authority;
   std::vector<ResourceRecord> additional;
 
+  friend bool operator==(const DnsMessage&, const DnsMessage&) = default;
+
   [[nodiscard]] const std::vector<ResourceRecord>& section(Section s) const {
     switch (s) {
       case Section::kAnswer: return answers;

@@ -55,10 +55,15 @@ DnsName DnsName::prepend(const std::string& label) const {
 void NameCompressor::write_name(ByteWriter& w, const DnsName& name) {
   const auto& labels = name.labels();
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    // Canonical dotted form of the suffix starting at label i.
+    // Wire form of the suffix starting at label i: length-prefixed labels.
+    // The key must be the wire form, not a dotted string — labels may
+    // contain literal '.' bytes (any byte is legal on the wire), and a
+    // dotted key would alias ["a","b"] with the single label ["a.b"],
+    // compressing one name into a pointer at the other (fuzz-found:
+    // fuzz/corpus/dns_message/crash-compression-dotted-label).
     std::string suffix;
     for (std::size_t j = i; j < labels.size(); ++j) {
-      if (!suffix.empty()) suffix += '.';
+      suffix += static_cast<char>(labels[j].size());
       suffix += labels[j];
     }
     for (const auto& k : known_) {

@@ -1,0 +1,59 @@
+// Fuzz-found journal framing regressions (fuzz/fuzz_journal_reader.cpp).
+#include <gtest/gtest.h>
+
+#include "campaign/store/journal.h"
+
+namespace dnstime::campaign::store {
+namespace {
+
+// A 16-byte input whose scenario-count field claims 1,000,000 scenarios
+// used to reserve() ~64 MiB before the first truncated name was noticed —
+// a 16-byte-to-megabytes allocation amplification on the resume path
+// (scan_journal decodes headers of whatever files sit in the journal
+// directory). The count must be bounded by what the input could hold.
+TEST(JournalFuzzRegression, CraftedScenarioCountDoesNotAmplifyAllocation) {
+  ByteWriter w;
+  w.write_u64(41);        // campaign seed
+  w.write_u32(4);         // trials per scenario
+  w.write_u32(1'000'000); // scenario count, but zero bytes follow
+  Bytes bytes = std::move(w).take();
+  ByteReader r(bytes);
+  EXPECT_THROW((void)JournalMeta::decode(r), DecodeError);
+}
+
+// Meta codec canonicality on the same shape the fuzzer checks: decode of
+// a canonical encoding reproduces identical bytes and fingerprint.
+TEST(JournalFuzzRegression, MetaCodecIsCanonical) {
+  JournalMeta meta;
+  meta.campaign_seed = 41;
+  meta.trials_per_scenario = 4;
+  meta.scenarios = {{"table2/ntpd-p1", "run-time"}, {"sweep/mtu/296", "boot-time"}};
+  Bytes wire = meta.encode();
+  ByteReader r(wire);
+  JournalMeta again = JournalMeta::decode(r);
+  EXPECT_EQ(again.encode(), wire);
+  EXPECT_EQ(again.fingerprint(), meta.fingerprint());
+  EXPECT_EQ(again.name_hashes(), meta.name_hashes());
+}
+
+// Truncating an encoded record at every byte boundary must always surface
+// as DecodeError (the reader's torn-tail rule), never anything else.
+TEST(JournalFuzzRegression, TruncatedRecordAlwaysThrowsDecodeError) {
+  TrialResult result;
+  result.trial = 3;
+  result.seed = 0xDEADBEEF;
+  result.success = true;
+  result.duration_s = 901.25;
+  result.error = "deadline";
+  ByteWriter w;
+  encode_record(w, fnv1a("table2/ntpd-p1"), result);
+  Bytes wire = std::move(w).take();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    ByteReader r(prefix);
+    EXPECT_THROW((void)decode_record(r), DecodeError) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace dnstime::campaign::store

@@ -1,0 +1,111 @@
+// Deterministic replays of hostile reassembly inputs from the
+// fuzz_reassembly harness (fuzz/corpus/reassembly). These overlap with the
+// crafted-fragment property tests in buffer_path_test.cpp but pin the
+// exact adversarial shapes the fuzzer exercises, against the raw cache.
+#include <gtest/gtest.h>
+
+#include "net/reassembly.h"
+
+namespace dnstime::net {
+namespace {
+
+Ipv4Packet frag(u16 id, u16 offset_units, bool more, std::size_t len,
+                u8 fill) {
+  Ipv4Packet p;
+  p.src = Ipv4Addr{0x0A000001};
+  p.dst = Ipv4Addr{0xC0A80001};
+  p.protocol = kProtoUdp;
+  p.id = id;
+  p.frag_offset_units = offset_units;
+  p.more_fragments = more;
+  p.payload = PacketBuf{Bytes(len, fill)};
+  return p;
+}
+
+// corpus seed "out-of-range": a crafted part starting past the end
+// declared by the MF=0 fragment. The coverage check sees a hole between
+// the genuine end and the stray part, so the datagram never completes —
+// it wedges until expiry. Crucially the assembler is never reached (the
+// pre-PR5 copy path underflowed `total - start` on this shape and wrote
+// out of bounds).
+TEST(ReassemblyFuzzRegression, PartStartingPastDatagramEndWedgesDatagram) {
+  ReassemblyCache cache;
+  sim::Time now;
+  // Spray part first (first arrival wins), then the genuine tiny datagram.
+  EXPECT_FALSE(cache.insert(frag(5, 100, true, 32, 0xEE), now).has_value());
+  EXPECT_FALSE(cache.insert(frag(5, 0, false, 8, 0x11), now).has_value());
+  EXPECT_EQ(cache.pending_datagrams(), 1u);
+  // The wedged datagram drains on expiry, not by completion.
+  cache.expire(now + sim::Duration::seconds(62));
+  EXPECT_EQ(cache.pending_datagrams(), 0u);
+  EXPECT_EQ(cache.completed(), 0u);
+  EXPECT_EQ(cache.expired(), 1u);
+}
+
+// A part that *starts* inside the declared total but extends past it (an
+// overlap off the end of the datagram) is clipped by the assembler rather
+// than widening the buffer: this is the exact `min(part, total - start)`
+// bound whose absence was the out-of-bounds write.
+TEST(ReassemblyFuzzRegression, PartExtendingPastDeclaredEndIsClipped) {
+  ReassemblyCache cache;
+  sim::Time now;
+  EXPECT_FALSE(cache.insert(frag(9, 0, true, 16, 0xEE), now).has_value());
+  auto done = cache.insert(frag(9, 1, false, 0, 0x00), now);
+  ASSERT_TRUE(done.has_value());
+  // MF=0 at offset 8 with an empty payload declares total = 8; the
+  // 16-byte part at offset 0 must contribute only its first 8 bytes.
+  ASSERT_EQ(done->payload.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(done->payload.data()[i], 0xEE);
+}
+
+// corpus seed "overlap": a spoofed fragment overlapping the genuine one at
+// a different offset. Overlaps resolve in ascending-offset order and the
+// assembled size stays exactly the declared total.
+TEST(ReassemblyFuzzRegression, OverlappingSprayStaysInBounds) {
+  ReassemblyCache cache;
+  sim::Time now;
+  EXPECT_FALSE(cache.insert(frag(7, 0, true, 24, 0xAA), now).has_value());
+  EXPECT_FALSE(cache.insert(frag(7, 1, true, 16, 0xBB), now).has_value());
+  auto done = cache.insert(frag(7, 3, false, 8, 0xCC), now);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->payload.size(), 32u);  // 3*8 + 8 declared by MF=0
+  // Ascending offset order: the offset-1 part overwrites [8,24), the
+  // offset-3 part overwrites [24,32).
+  const u8* p = done->payload.data();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(p[i], 0xAA) << i;
+  for (std::size_t i = 8; i < 24; ++i) EXPECT_EQ(p[i], 0xBB) << i;
+  for (std::size_t i = 24; i < 32; ++i) EXPECT_EQ(p[i], 0xCC) << i;
+}
+
+// corpus seed "spray-expire": an IPID spray against one endpoint pair must
+// saturate at the policy cap and drain completely on expiry.
+TEST(ReassemblyFuzzRegression, IpidSprayCapsAndDrains) {
+  ReassemblyPolicy policy;
+  policy.max_datagrams_per_pair = 8;
+  ReassemblyCache cache(policy);
+  sim::Time now;
+  for (u16 id = 0; id < 12; ++id) {
+    (void)cache.insert(frag(id, 64, true, 8, 0xDD), now);
+  }
+  EXPECT_EQ(cache.pending_datagrams(), 8u);
+  EXPECT_EQ(cache.evicted_overflow(), 4u);
+  cache.expire(now + sim::Duration::seconds(62));
+  EXPECT_EQ(cache.pending_datagrams(), 0u);
+  EXPECT_EQ(cache.expired(), 8u);
+  // A fresh spray after the drain must get fresh slots (pair counts were
+  // kept in sync by the expiry sweep).
+  (void)cache.insert(frag(99, 0, true, 8, 0x01), now);
+  EXPECT_EQ(cache.pending_datagrams(), 1u);
+}
+
+// A datagram declared empty by its only fragment (MF=0, offset 0, len 0)
+// completes with a zero-byte payload instead of tripping the assembler.
+TEST(ReassemblyFuzzRegression, EmptyDatagramCompletes) {
+  ReassemblyCache cache;
+  auto done = cache.insert(frag(1, 0, false, 0, 0x00), sim::Time{});
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->payload.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnstime::net
