@@ -27,6 +27,7 @@
 #include "bench_util.h"
 #include "common/bytes.h"
 #include "legacy_event_loop.h"
+#include "obs/provenance.h"
 #include "sim/event_loop.h"
 
 namespace dnstime::bench {
@@ -137,11 +138,55 @@ struct WorkloadResult {
   [[nodiscard]] double speedup() const { return legacy_s / new_s; }
 };
 
+/// Min-of-N wall time: rerun the workload `repeat` times and keep the
+/// fastest run.  A single run carries scheduler jitter far larger than
+/// the 2% instrumentation budget the overhead gate enforces; the minimum
+/// is the standard noise-robust estimator for a deterministic workload.
 template <class Fn>
-double timed(Fn&& fn) {
-  auto start = std::chrono::steady_clock::now();
-  fn();
-  return seconds_since(start);
+double timed(int repeat, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    double s = seconds_since(start);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Min-of-N with the flight recorder toggled per repeat: each iteration
+/// times the workload back to back with the recorder uninstalled and
+/// installed, alternating which half goes first (ABBA), so both
+/// measurements see the same machine conditions and neither side
+/// systematically lands on the hotter or cooler slot.  Cross-process
+/// comparisons drown a 2% budget in scheduler noise; this paired
+/// in-process form is what the flight-recorder overhead gate uses.
+template <class Fn>
+std::pair<double, double> timed_toggled(int repeat,
+                                        obs::FlightRecorder* recorder,
+                                        Fn&& fn) {
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    const bool on_first = (i % 2) != 0;
+    for (int half = 0; half < 2; ++half) {
+      const bool with_recorder = (half == 0) == on_first;
+      double s;
+      if (with_recorder) {
+        obs::ScopedFlightRecorder install(recorder);
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        s = seconds_since(start);
+      } else {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        s = seconds_since(start);
+      }
+      double& best = with_recorder ? best_on : best_off;
+      if (i == 0 || s < best) best = s;
+    }
+  }
+  return {best_off, best_on};
 }
 
 }  // namespace
@@ -152,40 +197,76 @@ int main(int argc, char** argv) {
   using namespace dnstime::bench;
 
   u64 scale = 2'000'000;
+  int repeat = 3;
   std::string out_path = "BENCH_eventloop.json";
+  std::string baseline_out;
+  bool flight_on = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline-out") == 0 && i + 1 < argc) {
+      baseline_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+      flight_on = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--scale N] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--scale N] [--repeat N] [--out FILE] "
+                   "[--flight-recorder [--baseline-out FILE]]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (!baseline_out.empty() && !flight_on) {
+    std::fprintf(stderr, "--baseline-out requires --flight-recorder\n");
+    return 2;
+  }
 
-  header("event-loop hot path: refactored vs pre-refactor loop");
+  // The event loop has no provenance sites; running under the recorder
+  // anyway measures the honest cost of carrying it (the per-site
+  // thread_local check is the only overhead a non-packet path pays).
+  // With --flight-recorder each repeat times the refactored loop back to
+  // back with the recorder off and on, and --baseline-out writes the
+  // recorder-off numbers as a matched baseline for the overhead gate.
+  obs::FlightRecorder flight;
+  if (flight_on) flight.set_meta("bench/eventloop", 0x5eed, 0, 0x5eed);
+
+  header(flight_on ? "event-loop hot path: refactored vs pre-refactor loop "
+                     "(flight recorder ON)"
+                   : "event-loop hot path: refactored vs pre-refactor loop");
 
   std::vector<WorkloadResult> results;
+  std::vector<double> baseline_new_s;  // recorder-off new-loop seconds
+  const auto measure_new = [&](auto&& fn) {
+    if (!flight_on) return timed(repeat, fn);
+    auto [off, on] = timed_toggled(repeat, &flight, fn);
+    baseline_new_s.push_back(off);
+    return on;
+  };
   {
     WorkloadResult r{.name = "timer_churn", .events = scale};
-    r.legacy_s =
-        timed([&] { timer_churn<bench_legacy::LegacyEventLoop>(scale); });
-    r.new_s = timed([&] { timer_churn<sim::EventLoop>(scale); });
+    r.legacy_s = timed(
+        repeat, [&] { timer_churn<bench_legacy::LegacyEventLoop>(scale); });
+    r.new_s = measure_new([&] { timer_churn<sim::EventLoop>(scale); });
     results.push_back(r);
   }
   {
     WorkloadResult r{.name = "packet_burst", .events = scale};
-    r.legacy_s = timed(
-        [&] { packet_burst<bench_legacy::LegacyEventLoop>(scale, 90); });
-    r.new_s = timed([&] { packet_burst<sim::EventLoop>(scale, 90); });
+    r.legacy_s = timed(repeat, [&] {
+      packet_burst<bench_legacy::LegacyEventLoop>(scale, 90);
+    });
+    r.new_s = measure_new([&] { packet_burst<sim::EventLoop>(scale, 90); });
     results.push_back(r);
   }
   {
     WorkloadResult r{.name = "cancel_heavy", .events = scale};
-    r.legacy_s =
-        timed([&] { cancel_heavy<bench_legacy::LegacyEventLoop>(scale); });
-    r.new_s = timed([&] { cancel_heavy<sim::EventLoop>(scale); });
+    r.legacy_s = timed(
+        repeat, [&] { cancel_heavy<bench_legacy::LegacyEventLoop>(scale); });
+    r.new_s = measure_new([&] { cancel_heavy<sim::EventLoop>(scale); });
     results.push_back(r);
   }
 
@@ -204,25 +285,40 @@ int main(int argc, char** argv) {
   double geomean = std::pow(speedup_product, 1.0 / results.size());
   std::printf("  geomean speedup: %.2fx\n", geomean);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  const auto write_json = [scale](const std::string& path,
+                                  const std::vector<WorkloadResult>& rs) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"eventloop\",\"scale\":%llu,\"workloads\":[",
+                 static_cast<unsigned long long>(scale));
+    double product = 1.0;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const WorkloadResult& r = rs[i];
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"events\":%llu,\"legacy_s\":%.4f,"
+                   "\"new_s\":%.4f,\"legacy_events_per_sec\":%.0f,"
+                   "\"new_events_per_sec\":%.0f,\"speedup\":%.3f}",
+                   i ? "," : "", r.name.c_str(),
+                   static_cast<unsigned long long>(r.events), r.legacy_s,
+                   r.new_s, r.legacy_eps(), r.new_eps(), r.speedup());
+      product *= r.speedup();
+    }
+    std::fprintf(f, "],\"geomean_speedup\":%.3f}\n",
+                 std::pow(product, 1.0 / rs.size()));
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!write_json(out_path, results)) return 1;
+  if (!baseline_out.empty()) {
+    std::vector<WorkloadResult> baseline = results;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      baseline[i].new_s = baseline_new_s[i];
+    }
+    if (!write_json(baseline_out, baseline)) return 1;
   }
-  std::fprintf(f, "{\"bench\":\"eventloop\",\"scale\":%llu,\"workloads\":[",
-               static_cast<unsigned long long>(scale));
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    std::fprintf(f,
-                 "%s{\"name\":\"%s\",\"events\":%llu,\"legacy_s\":%.4f,"
-                 "\"new_s\":%.4f,\"legacy_events_per_sec\":%.0f,"
-                 "\"new_events_per_sec\":%.0f,\"speedup\":%.3f}",
-                 i ? "," : "", r.name.c_str(),
-                 static_cast<unsigned long long>(r.events), r.legacy_s,
-                 r.new_s, r.legacy_eps(), r.new_eps(), r.speedup());
-  }
-  std::fprintf(f, "],\"geomean_speedup\":%.3f}\n", geomean);
-  std::fclose(f);
-  std::printf("  wrote %s\n", out_path.c_str());
   return 0;
 }

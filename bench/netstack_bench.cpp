@@ -33,6 +33,7 @@
 #include "net/fragmentation.h"
 #include "net/reassembly.h"
 #include "net/udp.h"
+#include "obs/provenance.h"
 
 namespace dnstime::bench {
 namespace {
@@ -93,6 +94,9 @@ struct PooledPath {
     pkt.id = id;
     pkt.payload = net::encode_udp_buf(std::move(w).take_buf(), 123, 123,
                                       kSrc, kDst);
+    // No-op unless --flight-recorder installed one; with it, every packet
+    // exercises the provenance stamp path the overhead gate measures.
+    DNSTIME_PROV_STAMP(pkt.payload, 0, OriginModule::kAttacker, 0);
     return pkt;
   }
   static std::vector<Packet> fragment(const Packet& pkt, u16 mtu) {
@@ -176,11 +180,55 @@ struct WorkloadResult {
   [[nodiscard]] double speedup() const { return legacy_s / new_s; }
 };
 
+/// Min-of-N wall time: rerun the workload `repeat` times and keep the
+/// fastest run.  A single run carries scheduler jitter far larger than
+/// the 2% instrumentation budget the overhead gate enforces; the minimum
+/// is the standard noise-robust estimator for a deterministic workload.
 template <class Fn>
-double timed(Fn&& fn) {
-  auto start = std::chrono::steady_clock::now();
-  fn();
-  return seconds_since(start);
+double timed(int repeat, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    double s = seconds_since(start);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Min-of-N with the flight recorder toggled per repeat: each iteration
+/// times the workload back to back with the recorder uninstalled and
+/// installed, alternating which half goes first (ABBA), so both
+/// measurements see the same machine conditions and neither side
+/// systematically lands on the hotter or cooler slot.  Cross-process
+/// comparisons drown a 2% budget in scheduler noise; this paired
+/// in-process form is what the flight-recorder overhead gate uses.
+template <class Fn>
+std::pair<double, double> timed_toggled(int repeat,
+                                        obs::FlightRecorder* recorder,
+                                        Fn&& fn) {
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    const bool on_first = (i % 2) != 0;
+    for (int half = 0; half < 2; ++half) {
+      const bool with_recorder = (half == 0) == on_first;
+      double s;
+      if (with_recorder) {
+        obs::ScopedFlightRecorder install(recorder);
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        s = seconds_since(start);
+      } else {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        s = seconds_since(start);
+      }
+      double& best = with_recorder ? best_on : best_off;
+      if (i == 0 || s < best) best = s;
+    }
+  }
+  return {best_off, best_on};
 }
 
 }  // namespace
@@ -191,19 +239,50 @@ int main(int argc, char** argv) {
   using namespace dnstime::bench;
 
   u64 scale = 400'000;
+  int repeat = 3;
   std::string out_path = "BENCH_netstack.json";
+  std::string baseline_out;
+  bool flight_on = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline-out") == 0 && i + 1 < argc) {
+      baseline_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+      flight_on = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--scale N] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--scale N] [--repeat N] [--out FILE] "
+                   "[--flight-recorder [--baseline-out FILE]]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (!baseline_out.empty() && !flight_on) {
+    std::fprintf(stderr, "--baseline-out requires --flight-recorder\n");
+    return 2;
+  }
 
-  header("packet path: pooled zero-copy vs pre-refactor copy path");
+  // With --flight-recorder the pooled path runs exactly as a trial does
+  // under the always-on recorder: every packet stamped, every completed
+  // reassembly recorded into the ring. Each repeat times the pooled path
+  // back to back with the recorder off and on (timed_toggled), and
+  // --baseline-out writes the recorder-off numbers as a matched baseline
+  // JSON, so the ≤2% overhead gate (tools/check_bench_overhead.py)
+  // compares two measurements taken in the same process under the same
+  // machine conditions.
+  obs::FlightRecorder flight;
+  if (flight_on) flight.set_meta("bench/netstack", 0x5eed, 0, 0x5eed);
+
+  header(flight_on
+             ? "packet path: pooled zero-copy vs pre-refactor copy path "
+               "(flight recorder ON)"
+             : "packet path: pooled zero-copy vs pre-refactor copy path");
 
   // 48 B = an NTP mode-3 query; 1172 B at MTU 296 = the attack's fragmented
   // DNS response shape (5 fragments); 64 B / 900 B at MTU 576 = a DNS
@@ -214,20 +293,28 @@ int main(int argc, char** argv) {
   Bytes response_pattern = make_pattern(900, 4);
 
   std::vector<WorkloadResult> results;
+  std::vector<double> baseline_new_s;  // recorder-off pooled-path seconds
+  const auto measure_new = [&](auto&& fn) {
+    if (!flight_on) return timed(repeat, fn);
+    auto [off, on] = timed_toggled(repeat, &flight, fn);
+    baseline_new_s.push_back(off);
+    return on;
+  };
   {
     WorkloadResult r{.name = "flood"};
-    r.legacy_s = timed([&] { flood<LegacyPath>(scale, flood_pattern); });
-    r.new_s = timed([&] { flood<PooledPath>(scale, flood_pattern); });
+    r.legacy_s =
+        timed(repeat, [&] { flood<LegacyPath>(scale, flood_pattern); });
+    r.new_s = measure_new([&] { flood<PooledPath>(scale, flood_pattern); });
     r.packets = scale;
     results.push_back(r);
   }
   {
     WorkloadResult r{.name = "fragment_spray"};
     u64 packets = 0;
-    r.legacy_s = timed([&] {
+    r.legacy_s = timed(repeat, [&] {
       packets = fragment_spray<LegacyPath>(scale / 4, spray_pattern, 296);
     });
-    r.new_s = timed([&] {
+    r.new_s = measure_new([&] {
       (void)fragment_spray<PooledPath>(scale / 4, spray_pattern, 296);
     });
     r.packets = packets;
@@ -236,11 +323,11 @@ int main(int argc, char** argv) {
   {
     WorkloadResult r{.name = "request_response"};
     u64 packets = 0;
-    r.legacy_s = timed([&] {
+    r.legacy_s = timed(repeat, [&] {
       packets = request_response<LegacyPath>(scale / 4, query_pattern,
                                              response_pattern, 576);
     });
-    r.new_s = timed([&] {
+    r.new_s = measure_new([&] {
       (void)request_response<PooledPath>(scale / 4, query_pattern,
                                          response_pattern, 576);
     });
@@ -263,25 +350,40 @@ int main(int argc, char** argv) {
   double geomean = std::pow(speedup_product, 1.0 / results.size());
   std::printf("  geomean speedup: %.2fx\n", geomean);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  const auto write_json = [scale](const std::string& path,
+                                  const std::vector<WorkloadResult>& rs) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"netstack\",\"scale\":%llu,\"workloads\":[",
+                 static_cast<unsigned long long>(scale));
+    double product = 1.0;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const WorkloadResult& r = rs[i];
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"packets\":%llu,\"legacy_s\":%.4f,"
+                   "\"new_s\":%.4f,\"legacy_packets_per_sec\":%.0f,"
+                   "\"new_packets_per_sec\":%.0f,\"speedup\":%.3f}",
+                   i ? "," : "", r.name.c_str(),
+                   static_cast<unsigned long long>(r.packets), r.legacy_s,
+                   r.new_s, r.legacy_pps(), r.new_pps(), r.speedup());
+      product *= r.speedup();
+    }
+    std::fprintf(f, "],\"geomean_speedup\":%.3f}\n",
+                 std::pow(product, 1.0 / rs.size()));
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!write_json(out_path, results)) return 1;
+  if (!baseline_out.empty()) {
+    std::vector<WorkloadResult> baseline = results;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      baseline[i].new_s = baseline_new_s[i];
+    }
+    if (!write_json(baseline_out, baseline)) return 1;
   }
-  std::fprintf(f, "{\"bench\":\"netstack\",\"scale\":%llu,\"workloads\":[",
-               static_cast<unsigned long long>(scale));
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    std::fprintf(f,
-                 "%s{\"name\":\"%s\",\"packets\":%llu,\"legacy_s\":%.4f,"
-                 "\"new_s\":%.4f,\"legacy_packets_per_sec\":%.0f,"
-                 "\"new_packets_per_sec\":%.0f,\"speedup\":%.3f}",
-                 i ? "," : "", r.name.c_str(),
-                 static_cast<unsigned long long>(r.packets), r.legacy_s,
-                 r.new_s, r.legacy_pps(), r.new_pps(), r.speedup());
-  }
-  std::fprintf(f, "],\"geomean_speedup\":%.3f}\n", geomean);
-  std::fclose(f);
-  std::printf("  wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -22,12 +22,18 @@
 //     MF=0 fragment accepted for it;
 //   * pending_datagrams() never exceeds the number of inserts;
 //   * expire() at +forever leaves the cache empty;
-//   * counters are monotone and completed+expired+pending stay consistent.
+//   * counters are monotone and completed+expired+pending stay consistent;
+//   * provenance: every fragment is stamped (op bit 5 marks it spoofed)
+//     and a completed datagram's merged Origin must carry the reassembled
+//     flag, a sequence number issued to that (src,id) key, and the
+//     spoofed flag only if a spoofed part was ever inserted for the key.
 #include <cstdint>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <vector>
 
+#include "common/origin.h"
 #include "net/reassembly.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -46,6 +52,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   // all attempts keeps the harness sound without mirroring the cache's
   // accept/reject decisions).
   std::map<std::pair<u32, u16>, std::size_t> declared;
+
+  // Provenance bookkeeping: the stamps issued per (src,id) key. A merged
+  // datagram's Origin is the dominant part's (spoofed wins), so its seq
+  // must have been issued under that key and it can only be spoofed if a
+  // spoofed part ever was.
+  struct IssuedStamps {
+    std::set<u32> seqs;
+    bool any_spoofed = false;
+  };
+  std::map<std::pair<u32, u16>, IssuedStamps> issued;
+  u32 next_seq = 0;
 
   while (pos < size) {
     u8 op = data[pos++];
@@ -74,6 +91,15 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     frag.payload = PacketBuf{payload};
 
     auto key = std::make_pair(frag.src.value(), frag.id);
+    Origin origin;
+    origin.ts_ns = now.ns();
+    origin.seq = ++next_seq;
+    origin.module = OriginModule::kAttacker;
+    origin.flags = (op & 0x20) != 0 ? Origin::kSpoofed : u8{0};
+    frag.payload.set_origin(origin);
+    IssuedStamps& stamps = issued[key];
+    stamps.seqs.insert(origin.seq);
+    stamps.any_spoofed = stamps.any_spoofed || origin.spoofed();
     inserts++;
     if (!frag.more_fragments) {
       std::size_t end = frag.frag_offset_bytes() + frag.payload.size();
@@ -87,6 +113,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         std::abort();  // reassembled past every declared datagram end
       }
       declared.erase(it);
+
+      const Origin& merged = done->payload.origin();
+      auto sit = issued.find(key);
+      if (sit == issued.end()) std::abort();  // completed with no inserts?
+      if (!merged.reassembled()) std::abort();
+      if (sit->second.seqs.count(merged.seq) == 0) {
+        std::abort();  // merged stamp was never issued for this key
+      }
+      if (merged.spoofed() && !sit->second.any_spoofed) {
+        std::abort();  // spoofed taint appeared out of thin air
+      }
     }
     if (cache.pending_datagrams() > inserts) std::abort();
   }

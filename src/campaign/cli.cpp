@@ -20,7 +20,10 @@ void usage(const char* prog, bool scenario_flags) {
                "usage: %s [--trials N] [--threads T] [--seed S]\n"
                "       [--journal DIR] [--resume] [--out PATH] [--json]\n"
                "       [--metrics] [--trace FILE] [--trace-index N]\n"
-               "       [--log-level trace|debug|info|warn|off]%s\n",
+               "       [--dump DIR] [--dump-on auto|error|timeout|"
+               "attack-failed|always]\n"
+               "       [--progress FILE] "
+               "[--log-level trace|debug|info|warn|off]%s\n",
                prog, scenario_flags ? " [--filter PREFIX]" : "");
 }
 
@@ -137,6 +140,9 @@ CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
         std::strcmp(flag, "--out") == 0 ||
         std::strcmp(flag, "--trace") == 0 ||
         std::strcmp(flag, "--trace-index") == 0 ||
+        std::strcmp(flag, "--dump") == 0 ||
+        std::strcmp(flag, "--dump-on") == 0 ||
+        std::strcmp(flag, "--progress") == 0 ||
         std::strcmp(flag, "--log-level") == 0 ||
         (scenario_flags && std::strcmp(flag, "--filter") == 0);
     if (!takes_value) {
@@ -185,6 +191,23 @@ CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
       opts.out = value;
     } else if (std::strcmp(flag, "--trace") == 0) {
       opts.config.trace_path = value;
+    } else if (std::strcmp(flag, "--dump") == 0) {
+      opts.config.dump_dir = value;
+    } else if (std::strcmp(flag, "--dump-on") == 0) {
+      if (std::strcmp(value, "auto") != 0 &&
+          std::strcmp(value, "error") != 0 &&
+          std::strcmp(value, "timeout") != 0 &&
+          std::strcmp(value, "attack-failed") != 0 &&
+          std::strcmp(value, "always") != 0) {
+        std::fprintf(stderr,
+                     "%s: invalid value '%s' for flag '--dump-on' (want "
+                     "auto, error, timeout, attack-failed or always)\n",
+                     argv[0], value);
+        return fail();
+      }
+      opts.config.dump_on = value;
+    } else if (std::strcmp(flag, "--progress") == 0) {
+      opts.config.progress_path = value;
     } else if (std::strcmp(flag, "--trace-index") == 0) {
       if (!parse_u64_token(value, parsed)) {
         std::fprintf(stderr,
@@ -211,6 +234,13 @@ CliOptions parse_cli(int argc, char** argv, CliOptions defaults,
   }
   if (opts.config.resume && opts.config.journal_dir.empty()) {
     std::fprintf(stderr, "%s: '--resume' requires '--journal DIR'\n",
+                 argv[0]);
+    return fail();
+  }
+  if (!opts.config.dump_dir.empty() && !DNSTIME_OBS) {
+    std::fprintf(stderr,
+                 "%s: '--dump' requires an observability build "
+                 "(DNSTIME_OBS=1)\n",
                  argv[0]);
     return fail();
   }

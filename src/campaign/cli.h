@@ -23,8 +23,11 @@ struct CliOptions {
 
 /// Parses the shared campaign flags: --trials N, --threads T, --seed S,
 /// --journal DIR, --resume, --out PATH, --json, --metrics, --trace FILE,
-/// --trace-index N, --log-level LEVEL and (when `scenario_flags` is set)
-/// --filter PREFIX. `defaults` seeds the returned options.
+/// --trace-index N, --dump DIR, --dump-on PRED, --progress FILE,
+/// --log-level LEVEL and (when `scenario_flags` is set) --filter PREFIX.
+/// `defaults` seeds the returned options. --dump/--dump-on/--progress
+/// land in CampaignConfig::dump_dir/dump_on/progress_path (narrative
+/// dumps and the live progress stream; see runner.h).
 /// --log-level applies immediately (Logger::set_level); --trace/--trace-index
 /// land in CampaignConfig::trace_path/trace_index. Numeric values must be
 /// full unsigned-decimal tokens in range — garbage, trailing junk,

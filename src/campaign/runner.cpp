@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -15,10 +16,71 @@
 #include "campaign/store/shard_writer.h"
 #include "campaign/trial.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "obs/counters.h"
+#include "obs/json_util.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace dnstime::campaign {
+namespace {
+
+enum class DumpOn { kAuto, kError, kTimeout, kAttackFailed, kAlways };
+
+DumpOn parse_dump_on(const std::string& s) {
+  if (s == "auto") return DumpOn::kAuto;
+  if (s == "error") return DumpOn::kError;
+  if (s == "timeout") return DumpOn::kTimeout;
+  if (s == "attack-failed") return DumpOn::kAttackFailed;
+  if (s == "always") return DumpOn::kAlways;
+  throw std::invalid_argument(
+      "unknown dump predicate '" + s +
+      "' (expected auto, error, timeout, attack-failed or always)");
+}
+
+#if DNSTIME_OBS
+/// A deadline timeout presents as an unsuccessful trial that consumed the
+/// whole attack deadline without raising an error.
+bool timed_out(const ScenarioSpec& spec, const TrialResult& r) {
+  return !r.success && r.error.empty() &&
+         r.duration_s >= spec.stop.deadline.to_seconds() - 1e-9;
+}
+
+bool should_dump(DumpOn mode, const ScenarioSpec& spec,
+                 const TrialResult& r) {
+  switch (mode) {
+    case DumpOn::kAuto:
+      return !r.error.empty() || timed_out(spec, r);
+    case DumpOn::kError:
+      return !r.error.empty();
+    case DumpOn::kTimeout:
+      return timed_out(spec, r);
+    case DumpOn::kAttackFailed:
+      return !r.success;
+    case DumpOn::kAlways:
+      return true;
+  }
+  return false;
+}
+
+/// `<scenario>-t<trial>.json`, scenario sanitised to filename-safe chars
+/// ('/' in names like "table2/ntpd-known" becomes '_').
+std::string dump_file_name(const std::string& scenario, u32 trial) {
+  std::string name;
+  name.reserve(scenario.size() + 16);
+  for (char c : scenario) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    name.push_back(ok ? c : '_');
+  }
+  name += "-t";
+  name += std::to_string(trial);
+  name += ".json";
+  return name;
+}
+#endif  // DNSTIME_OBS
+
+}  // namespace
 
 u64 CampaignRunner::trial_seed(u64 campaign_seed, const ScenarioSpec& scenario,
                                u32 trial) {
@@ -52,11 +114,54 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
   const bool tracing = !config_.trace_path.empty();
   std::string trace_json;  // written only by the traced trial's worker
 
+#if DNSTIME_OBS
+  const bool dumping = !config_.dump_dir.empty();
+  const DumpOn dump_mode =
+      dumping ? parse_dump_on(config_.dump_on) : DumpOn::kAuto;
+  if (dumping) std::filesystem::create_directories(config_.dump_dir);
+#endif
+
+  // Live progress stream (JSON Lines). Opened before any trial runs so a
+  // bad path fails the campaign up front; writes after that are
+  // best-effort (a full disk must not kill hours of trials over a watch
+  // stream). Everything below that touches wall time feeds only this
+  // stream, which CampaignConfig documents as outside the byte-identity
+  // contract.
+  std::FILE* progress_file = nullptr;
+  if (!config_.progress_path.empty()) {
+    progress_file = std::fopen(config_.progress_path.c_str(), "wb");
+    if (progress_file == nullptr) {
+      throw std::runtime_error("cannot open progress file '" +
+                               config_.progress_path + "' for writing");
+    }
+  }
+  const auto close_file = [](std::FILE* f) {
+    if (f != nullptr) std::fclose(f);
+  };
+  std::unique_ptr<std::FILE, decltype(close_file)> progress_guard(
+      progress_file, close_file);
+  struct ScenarioProgress {
+    u32 done = 0;
+    u32 successes = 0;
+  };
+  std::vector<ScenarioProgress> progress_state(
+      progress_file != nullptr ? scenarios.size() : 0);
+  std::size_t executed_total = 0;  // guarded by error_mutex
+  std::size_t pending_total = total;
+  if (skip != nullptr) {
+    for (u8 s : *skip) {
+      if (s != 0) pending_total--;
+    }
+  }
+  // det-lint: allow(wallclock) elapsed/ETA for the progress stream only
+  const auto campaign_start = std::chrono::steady_clock::now();
+
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
   std::mutex error_mutex;  // serialises progress_ and the error slots
   std::exception_ptr sink_error;      // first throw from sink, if any
   std::exception_ptr progress_error;  // first throw from progress_, if any
+  std::exception_ptr dump_error;      // first failed narrative dump write
   auto worker = [&](u32 worker_id) {
 #if DNSTIME_OBS
     // Wall-clock utilisation, exported once per worker on any exit path.
@@ -115,15 +220,61 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
           result.error = "unknown exception";
         }
       };
+#if DNSTIME_OBS
+      // Always-on flight recorder: installed before the trial constructs
+      // its World (the World feeds it the attacker-controlled addresses)
+      // and observing sim time only, so recording never perturbs results.
+      obs::FlightRecorder flight;
+      flight.set_meta(spec.name, config_.seed, trial_idx, ctx.seed);
+      obs::ScopedFlightRecorder flight_install(&flight);
+#endif
       if (tracing && i == config_.trace_index) {
         obs::TraceRecorder recorder;
         recorder.set_meta(spec.name, config_.seed, trial_idx);
         obs::ScopedTrace install(&recorder);
         execute_trial();
         trace_json = recorder.to_json();  // read after the pool joins
+        DNSTIME_COUNT_ADD("obs.trace_events", recorder.size());
+        DNSTIME_COUNT_ADD("obs.trace_dropped", recorder.dropped());
       } else {
         execute_trial();
       }
+#if DNSTIME_OBS
+      if (!result.error.empty()) flight.error(result.error);
+      DNSTIME_HIST("obs.flight_ring_occupancy",
+                   static_cast<u64>(flight.size()));
+      DNSTIME_COUNT_ADD("obs.flight_events", flight.recorded());
+      DNSTIME_COUNT_ADD("obs.flight_overwritten", flight.overwritten());
+      if (dumping && should_dump(dump_mode, spec, result)) {
+        obs::FlightRecorder::DumpContext dctx;
+        dctx.has_result = true;
+        dctx.success = result.success;
+        dctx.duration_s = result.duration_s;
+        dctx.clock_shift_s = result.clock_shift_s;
+        dctx.error = result.error;
+        const std::string json = flight.to_json(dctx);
+        const std::string path =
+            (std::filesystem::path(config_.dump_dir) /
+             dump_file_name(spec.name, trial_idx))
+                .string();
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        bool ok = f != nullptr;
+        if (ok) {
+          ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+          ok = (std::fclose(f) == 0) && ok;
+        }
+        if (!ok) {
+          // Losing forensics is worth failing the run over, but not worth
+          // aborting trials already in flight: capture the first write
+          // failure and rethrow it after the pool joins.
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!dump_error) {
+            dump_error = std::make_exception_ptr(std::runtime_error(
+                "cannot write narrative dump '" + path + "'"));
+          }
+        }
+      }
+#endif
 #if DNSTIME_OBS
       const double trial_s =
           // det-lint: allow(wallclock) trial_wall_us histogram, metrics-only
@@ -146,6 +297,54 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
         if (!sink_error) sink_error = std::current_exception();
         abort.store(true);
         return;
+      }
+      if (progress_file != nullptr) {
+        const double elapsed_s =
+            // det-lint: allow(wallclock) ETA for the progress stream only
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          campaign_start)
+                .count();
+        std::lock_guard<std::mutex> lock(error_mutex);
+        ScenarioProgress& sp = progress_state[scenario_idx];
+        sp.done++;
+        if (stored->success) sp.successes++;
+        executed_total++;
+        const WilsonInterval ci = wilson_interval(sp.successes, sp.done);
+        const std::size_t remaining = pending_total - executed_total;
+        std::string line;
+        line.reserve(256);
+        line += "{\"scenario\":\"";
+        obs::append_escaped(line, spec.name.c_str());
+        line += "\",\"trial\":";
+        line += std::to_string(trial_idx);
+        line += ",\"success\":";
+        line += stored->success ? "true" : "false";
+        line += ",\"done\":";
+        line += std::to_string(sp.done);
+        line += ",\"trials\":";
+        line += std::to_string(trials);
+        line += ",\"successes\":";
+        line += std::to_string(sp.successes);
+        line += ",\"rate\":";
+        obs::append_double(line, static_cast<double>(sp.successes) /
+                                     static_cast<double>(sp.done));
+        line += ",\"wilson_low\":";
+        obs::append_double(line, ci.low);
+        line += ",\"wilson_high\":";
+        obs::append_double(line, ci.high);
+        line += ",\"campaign_done\":";
+        line += std::to_string(executed_total);
+        line += ",\"campaign_total\":";
+        line += std::to_string(pending_total);
+        line += ",\"elapsed_s\":";
+        obs::append_double(line, elapsed_s);
+        line += ",\"eta_s\":";
+        obs::append_double(line,
+                           elapsed_s * static_cast<double>(remaining) /
+                               static_cast<double>(executed_total));
+        line += "}\n";
+        std::fputs(line.c_str(), progress_file);
+        std::fflush(progress_file);
       }
       if (progress_) {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -174,6 +373,7 @@ void CampaignRunner::execute(const std::vector<ScenarioSpec>& scenarios,
   }
   if (sink_error) std::rethrow_exception(sink_error);
   if (progress_error) std::rethrow_exception(progress_error);
+  if (dump_error) std::rethrow_exception(dump_error);
 
   if (tracing) {
     if (trace_json.empty()) {
@@ -211,6 +411,13 @@ CampaignReport CampaignRunner::run(
           " out of range: campaign has " + std::to_string(total) +
           " trials (scenario_index * trials + trial_index)");
     }
+  }
+  if (!config_.dump_dir.empty()) {
+    (void)parse_dump_on(config_.dump_on);  // reject bad predicates early
+#if !DNSTIME_OBS
+    throw std::invalid_argument(
+        "narrative dumps require an observability build (DNSTIME_OBS=1)");
+#endif
   }
   return config_.journal_dir.empty() ? run_in_memory(scenarios)
                                      : run_journaled(scenarios);

@@ -58,6 +58,26 @@ struct CampaignConfig {
   /// trial_index — deterministic regardless of which worker executes it.
   /// run() throws std::invalid_argument when it is out of range.
   u64 trace_index = 0;
+  /// Non-empty: write an attack-narrative dump (obs::FlightRecorder
+  /// to_json) into this directory (created if absent) for every trial
+  /// matching dump_on, named `<scenario>-t<trial>.json` (non-filename
+  /// characters in the scenario name become '_'). Dumps are a pure
+  /// function of the trial seed, so they are byte-identical at any
+  /// thread count.
+  std::string dump_dir;
+  /// Which trials to dump (requires dump_dir): "auto" (error or
+  /// deadline timeout), "error", "timeout", "attack-failed" (any
+  /// unsuccessful trial), or "always". run() throws
+  /// std::invalid_argument on anything else.
+  std::string dump_on = "auto";
+  /// Non-empty: stream live campaign progress to this file as JSON
+  /// Lines, one line per finished trial (per-scenario done counts,
+  /// success rate with a 95% Wilson interval, wall-clock ETA). The
+  /// stream is for watching, not for records: line order and the ETA
+  /// fields depend on scheduling and wall time, so it sits explicitly
+  /// outside the byte-identity contract (the report itself is
+  /// unaffected). Write failures after open are ignored.
+  std::string progress_path;
 };
 
 class CampaignRunner {

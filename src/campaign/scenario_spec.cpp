@@ -90,6 +90,18 @@ ScenarioSpec chronos_scenario(int honest_rounds) {
   return spec;
 }
 
+ScenarioSpec forensics_frag_filter_scenario() {
+  ScenarioSpec spec = table2_scenario(ClientKind::kNtpdKnownList);
+  spec.name = "forensics/frag-filter";
+  spec.description =
+      "run-time attack against a fragment-filtering resolver; fails by "
+      "design so narrative dumps have a reproducible chain break";
+  spec.world.resolver_stack.accept_fragments = false;
+  spec.stop.deadline = sim::Duration::minutes(45);
+  spec.stop.settle = sim::Duration::minutes(5);
+  return spec;
+}
+
 std::vector<ScenarioSpec> mtu_sweep(const std::vector<u16>& mtus) {
   std::vector<ScenarioSpec> out;
   for (u16 mtu : mtus) {
@@ -153,6 +165,7 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   reg.add(table2_scenario(ClientKind::kChrony));
   reg.add(boot_time_scenario());
   reg.add(chronos_scenario());
+  reg.add(forensics_frag_filter_scenario());
   for (auto& s : mtu_sweep()) reg.add(std::move(s));
   for (auto& s : pool_size_sweep()) reg.add(std::move(s));
   for (auto& s : rate_limit_sweep()) reg.add(std::move(s));

@@ -118,6 +118,12 @@ class ScenarioRegistry {
 [[nodiscard]] ScenarioSpec boot_time_scenario();
 /// §VI-C Chronos pool freeze after `honest_rounds` honest queries.
 [[nodiscard]] ScenarioSpec chronos_scenario(int honest_rounds = 6);
+/// A run-time attack that deterministically fails: the resolver filters
+/// fragments (Table V hardening), so spoofed parts are never reassembled
+/// and the causal chain breaks at "reassembled with a spoofed part".
+/// Exists to exercise the forensics path (--dump / attack_narrative): the
+/// dump names the exact break point. Short deadline keeps trials cheap.
+[[nodiscard]] ScenarioSpec forensics_frag_filter_scenario();
 
 // --- parameter sweeps -------------------------------------------------------
 // Each returns one spec per value, named "<stem>/<value>". Sweeps use the

@@ -11,6 +11,7 @@
 #include "ntp/clients/chrony.h"
 #include "ntp/clients/ntpd.h"
 #include "ntp/clients/openntpd.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "scenario/world.h"
 
@@ -27,6 +28,7 @@ const Ipv4Addr kVictim{10, 77, 0, 1};
 /// scope for the rest of the trial so replants keep the cache primed.
 void poison_delegation(World& world, attack::CachePoisoner& poisoner) {
   DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "poison-delegation");
+  DNSTIME_PROV_EVENT(phase(world.loop().now().ns(), "poison-delegation"));
   poisoner.start();
   world.run_for(Duration::seconds(20));
   attack::QueryTrigger::via_open_resolver(
@@ -82,6 +84,7 @@ TrialResult run_time_trial(const ScenarioSpec& spec, TrialResult result) {
       break;
   }
   DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "honest-sync");
+  DNSTIME_PROV_EVENT(phase(world.loop().now().ns(), "honest-sync"));
   client->start();
   world.run_for(Duration::minutes(12));
   DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "honest-sync");
@@ -167,6 +170,7 @@ TrialResult boot_time_trial(const ScenarioSpec& spec, TrialResult result) {
   cfg.resolver = world.resolver_addr();
   ntp::NtpdClient client(*host.stack, host.clock, cfg);
   DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "victim-boot");
+  DNSTIME_PROV_EVENT(phase(world.loop().now().ns(), "victim-boot"));
   client.start();
   world.run_for(spec.stop.settle);
   DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "victim-boot");
@@ -191,6 +195,7 @@ TrialResult chronos_trial(const ScenarioSpec& spec, TrialResult result) {
   // poisons before the first honest query completes.
   if (spec.chronos_honest_rounds > 0) {
     DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "honest-rounds");
+    DNSTIME_PROV_EVENT(phase(world.loop().now().ns(), "honest-rounds"));
     world.run_for(Duration::hours(spec.chronos_honest_rounds - 1) +
                   Duration::minutes(30));
     DNSTIME_TRACE_END(world.loop().now().ns(), "trial", "honest-rounds");
@@ -203,6 +208,7 @@ TrialResult chronos_trial(const ScenarioSpec& spec, TrialResult result) {
   attack.inject_whitebox(world.resolver());
 
   DNSTIME_TRACE_BEGIN(world.loop().now().ns(), "trial", "shift");
+  DNSTIME_PROV_EVENT(phase(world.loop().now().ns(), "shift"));
   Duration spent = run_until(
       world, spec.stop.deadline + spec.stop.settle, Duration::hours(1),
       [&] { return victim.clock.offset() <= spec.stop.success_shift; });

@@ -165,12 +165,16 @@ PacketBuf PacketBuf::slice(std::size_t offset, std::size_t len) const {
     throw std::out_of_range("PacketBuf::slice");
   }
   if (block_) block_->refcount++;
-  return PacketBuf{block_, data_ + offset, len};
+  PacketBuf out{block_, data_ + offset, len};
+  out.origin_ = origin_;  // a fragment slice keeps its parent's provenance
+  return out;
 }
 
 void PacketBuf::ensure_unique() {
   if (block_ == nullptr || block_->refcount == 1) return;
+  const Origin origin = origin_;
   *this = copy_of(span(), kPacketHeadroom);
+  origin_ = origin;  // copy-on-write must not launder provenance
 }
 
 u8* PacketBuf::prepend(std::size_t n) {
@@ -180,6 +184,7 @@ u8* PacketBuf::prepend(std::size_t n) {
     return data_;
   }
   PacketBuf grown = uninitialized(n + len_, kPacketHeadroom);
+  grown.origin_ = origin_;
   if (len_ != 0) std::memcpy(grown.data_ + n, data_, len_);
   *this = std::move(grown);
   return data_;
@@ -196,6 +201,7 @@ void PacketBuf::resize(std::size_t n) {
     return;
   }
   PacketBuf grown = uninitialized(n, kPacketHeadroom);
+  grown.origin_ = origin_;
   if (len_ != 0) std::memcpy(grown.data_, data_, len_);
   std::memset(grown.data_ + len_, 0, n - len_);
   *this = std::move(grown);
@@ -204,7 +210,9 @@ void PacketBuf::resize(std::size_t n) {
 void PacketBuf::assign(std::size_t n, u8 value) {
   if (!(block_ && block_->refcount == 1 &&
         block_->capacity - headroom() >= n)) {
+    const Origin origin = origin_;
     *this = uninitialized(n, kPacketHeadroom);
+    origin_ = origin;
   }
   len_ = n;
   if (n != 0) std::memset(data_, value, n);

@@ -36,6 +36,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/origin.h"
 #include "common/types.h"
 
 namespace dnstime {
@@ -157,7 +158,8 @@ class PacketBuf {
 
   ~PacketBuf() { reset(); }
 
-  PacketBuf(const PacketBuf& o) : block_(o.block_), data_(o.data_), len_(o.len_) {
+  PacketBuf(const PacketBuf& o)
+      : block_(o.block_), data_(o.data_), len_(o.len_), origin_(o.origin_) {
     if (block_) block_->refcount++;
   }
   PacketBuf& operator=(const PacketBuf& o) {
@@ -167,14 +169,16 @@ class PacketBuf {
       block_ = o.block_;
       data_ = o.data_;
       len_ = o.len_;
+      origin_ = o.origin_;
     }
     return *this;
   }
   PacketBuf(PacketBuf&& o) noexcept
-      : block_(o.block_), data_(o.data_), len_(o.len_) {
+      : block_(o.block_), data_(o.data_), len_(o.len_), origin_(o.origin_) {
     o.block_ = nullptr;
     o.data_ = nullptr;
     o.len_ = 0;
+    o.origin_ = Origin{};
   }
   PacketBuf& operator=(PacketBuf&& o) noexcept {
     if (this != &o) {
@@ -182,9 +186,11 @@ class PacketBuf {
       block_ = o.block_;
       data_ = o.data_;
       len_ = o.len_;
+      origin_ = o.origin_;
       o.block_ = nullptr;
       o.data_ = nullptr;
       o.len_ = 0;
+      o.origin_ = Origin{};
     }
     return *this;
   }
@@ -251,6 +257,12 @@ class PacketBuf {
     len_ = n;
   }
 
+  /// Provenance stamp (common/origin.h). Carried alongside the window
+  /// through copies, slices, copy-on-write and the writer's regrow path,
+  /// so a reassembled or re-encoded payload still names its emitter.
+  [[nodiscard]] const Origin& origin() const { return origin_; }
+  void set_origin(const Origin& o) { origin_ = o; }
+
   [[nodiscard]] bool unique() const {
     return block_ == nullptr || block_->refcount == 1;
   }
@@ -281,12 +293,14 @@ class PacketBuf {
     block_ = nullptr;
     data_ = nullptr;
     len_ = 0;
+    origin_ = Origin{};
   }
   void ensure_unique();
 
   BufferPool::Block* block_ = nullptr;
   u8* data_ = nullptr;
   std::size_t len_ = 0;
+  Origin origin_{};
 };
 
 /// Non-owning read-only view over packet bytes — what UDP payload handlers
@@ -299,7 +313,8 @@ class BufView {
       : data_(data), size_(size) {}
   constexpr BufView(std::span<const u8> s) : data_(s.data()), size_(s.size()) {}
   BufView(const Bytes& b) : data_(b.data()), size_(b.size()) {}
-  BufView(const PacketBuf& b) : data_(b.data()), size_(b.size()) {}
+  BufView(const PacketBuf& b)
+      : data_(b.data()), size_(b.size()), origin_(b.origin()) {}
 
   [[nodiscard]] constexpr const u8* data() const { return data_; }
   [[nodiscard]] constexpr std::size_t size() const { return size_; }
@@ -316,11 +331,17 @@ class BufView {
   constexpr operator std::span<const u8>() const { return span(); }
   [[nodiscard]] Bytes to_bytes() const { return Bytes(begin(), end()); }
 
+  /// Provenance stamp of the buffer this view was taken from (default
+  /// for views over plain byte ranges).
+  [[nodiscard]] constexpr const Origin& origin() const { return origin_; }
+
   [[nodiscard]] BufView subview(std::size_t offset, std::size_t n) const {
     if (offset > size_ || n > size_ - offset) {
       throw std::out_of_range("BufView::subview");
     }
-    return {data_ + offset, n};
+    BufView v{data_ + offset, n};
+    v.origin_ = origin_;
+    return v;
   }
 
   friend bool operator==(BufView a, BufView b) {
@@ -331,6 +352,7 @@ class BufView {
  private:
   const u8* data_ = nullptr;
   std::size_t size_ = 0;
+  Origin origin_{};
 };
 
 }  // namespace dnstime

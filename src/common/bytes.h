@@ -109,6 +109,7 @@ class ByteWriter {
     std::size_t cap = used ? used * 2 : 160;
     if (cap < used + need) cap = used + need;
     PacketBuf bigger = PacketBuf::uninitialized(cap, headroom_);
+    bigger.set_origin(buf_.origin());  // regrowing must keep provenance
     if (used != 0) std::memcpy(bigger.data(), buf_.data(), used);
     buf_ = std::move(bigger);
     // The pool rounds capacity up to its size class; write into all of it.

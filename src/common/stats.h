@@ -88,6 +88,33 @@ namespace dnstime {
   return std::erfc(std::fabs(z) / std::sqrt(2.0));
 }
 
+/// Wilson score confidence interval for a binomial proportion.
+struct WilsonInterval {
+  double low = 0.0;
+  double high = 1.0;
+};
+
+/// Wilson interval for `successes` out of `trials` at critical value `z`
+/// (default 1.96 ~ 95%). Preferred over the normal approximation for the
+/// small trial counts campaign progress reports mid-run: it never leaves
+/// [0, 1] and stays meaningful at 0/n and n/n. Degenerate contract:
+/// trials == 0 (or successes > trials) -> the vacuous {0, 1}.
+[[nodiscard]] inline WilsonInterval wilson_interval(u64 successes, u64 trials,
+                                                    double z = 1.96) {
+  WilsonInterval w;
+  if (trials == 0 || successes > trials) return w;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  w.low = std::max(0.0, (centre - margin) / denom);
+  w.high = std::min(1.0, (centre + margin) / denom);
+  return w;
+}
+
 /// Regularised incomplete beta function I_x(a, b), the workhorse behind
 /// the Student-t CDF. Continued fraction per Numerical Recipes (modified
 /// Lentz), converging for all a, b > 0 and x in [0, 1].

@@ -6,12 +6,12 @@ namespace dnstime::dns {
 
 void DnsCache::insert(const DnsName& name, RrType type,
                       std::vector<ResourceRecord> rrset, sim::Time now,
-                      u32 max_ttl) {
+                      u32 max_ttl, Origin origin) {
   if (rrset.empty()) return;
   u32 ttl = max_ttl;
   for (const auto& rr : rrset) ttl = std::min(ttl, rr.ttl);
   Entry entry{std::move(rrset),
-              now + sim::Duration::seconds(static_cast<i64>(ttl))};
+              now + sim::Duration::seconds(static_cast<i64>(ttl)), origin};
   entries_[Key{name.to_string(), type}] = std::move(entry);
 }
 
@@ -31,6 +31,13 @@ std::optional<u32> DnsCache::remaining_ttl(const DnsName& name, RrType type,
   auto it = entries_.find(Key{name.to_string(), type});
   if (it == entries_.end() || it->second.expires <= now) return std::nullopt;
   return static_cast<u32>((it->second.expires - now).to_seconds());
+}
+
+Origin DnsCache::origin(const DnsName& name, RrType type,
+                        sim::Time now) const {
+  auto it = entries_.find(Key{name.to_string(), type});
+  if (it == entries_.end() || it->second.expires <= now) return {};
+  return it->second.origin;
 }
 
 void DnsCache::evict(const DnsName& name, RrType type) {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/origin.h"
 #include "dns/records.h"
 #include "sim/time.h"
 
@@ -18,10 +19,12 @@ namespace dnstime::dns {
 class DnsCache {
  public:
   /// Insert an RRset; lifetime = min TTL across records, capped by
-  /// `max_ttl`. Replaces any existing entry for (name, type).
+  /// `max_ttl`. Replaces any existing entry for (name, type). `origin`
+  /// is the provenance of the response payload the RRset came from, so a
+  /// poisoned entry remembers which spoofed packet planted it.
   void insert(const DnsName& name, RrType type,
               std::vector<ResourceRecord> rrset, sim::Time now,
-              u32 max_ttl = 7 * 86400);
+              u32 max_ttl = 7 * 86400, Origin origin = {});
 
   /// Fetch a live RRset; returned records carry the *remaining* TTL (this
   /// is what makes the Fig. 6 measurement possible from outside).
@@ -38,6 +41,11 @@ class DnsCache {
                                                  RrType type,
                                                  sim::Time now) const;
 
+  /// Provenance of a live entry (default-constructed Origin when absent
+  /// or expired).
+  [[nodiscard]] Origin origin(const DnsName& name, RrType type,
+                              sim::Time now) const;
+
   void evict(const DnsName& name, RrType type);
   void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -51,6 +59,7 @@ class DnsCache {
   struct Entry {
     std::vector<ResourceRecord> rrset;
     sim::Time expires;
+    Origin origin;
   };
   std::map<Key, Entry> entries_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "obs/counters.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace dnstime::dns {
@@ -86,6 +87,11 @@ void Resolver::answer_from_cache(const net::UdpEndpoint& to, u16 id,
       if (rr.type == RrType::kA && is_tainted(rr.a)) {
         poisoned_served_++;
         DNSTIME_TRACE_INSTANT(stack_.now().ns(), "dns", "poisoned-served");
+        // The narrative wants the causal link: the cached entry's origin
+        // names the spoofed packet that planted the answer being served.
+        DNSTIME_PROV_EVENT(poisoned_served(
+            stack_.now().ns(), cache_.origin(q.name, q.type, stack_.now()),
+            q.name.to_string().c_str()));
         break;
       }
     }
@@ -199,7 +205,7 @@ void Resolver::on_upstream_response(u64 key, const net::UdpEndpoint& from,
     fail(key, Rcode::kServFail);
     return;
   }
-  finish(key, response);
+  finish(key, response, payload.origin());
 }
 
 void Resolver::on_upstream_timeout(u64 key) {
@@ -213,7 +219,8 @@ void Resolver::on_upstream_timeout(u64 key) {
   fail(key, Rcode::kServFail);
 }
 
-void Resolver::finish(u64 key, const DnsMessage& response) {
+void Resolver::finish(u64 key, const DnsMessage& response,
+                      const Origin& origin) {
   auto it = pending_.find(key);
   if (it == pending_.end()) return;
   Pending p = std::move(it->second);
@@ -221,7 +228,7 @@ void Resolver::finish(u64 key, const DnsMessage& response) {
   stack_.unbind_udp(p.src_port);
   pending_.erase(it);
 
-  cache_response(p.question, response);
+  cache_response(p.question, response, origin);
 
   // Answer every waiting client from what we just learned.
   auto cached = cache_.lookup(p.question.name, p.question.type, stack_.now());
@@ -322,7 +329,8 @@ bool Resolver::validate(const DnsMessage& response) {
 }
 
 void Resolver::cache_response(const DnsQuestion& q,
-                              const DnsMessage& response) {
+                              const DnsMessage& response,
+                              const Origin& origin) {
   // Bailiwick rule: only cache records at or below the queried name's
   // zone (approximated by the matching hint/delegation apex). We use the
   // query name's parent domain as the bailiwick boundary.
@@ -345,8 +353,11 @@ void Resolver::cache_response(const DnsQuestion& q,
       rrsets[{rr.name.to_string(), rr.type}].push_back(rr);
     }
     for (auto& [key, rrset] : rrsets) {
+      DNSTIME_PROV_EVENT(
+          cache_insert(stack_.now().ns(), origin, key.first.c_str()));
       cache_.insert(DnsName::from_string(key.first), key.second,
-                    std::move(rrset), stack_.now(), config_.max_cache_ttl);
+                    std::move(rrset), stack_.now(), config_.max_cache_ttl,
+                    origin);
     }
   };
   cache_section(response.answers);

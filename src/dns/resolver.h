@@ -100,7 +100,8 @@ class Resolver {
   void on_upstream_response(u64 pending_key, const net::UdpEndpoint& from,
                             BufView payload);
   void on_upstream_timeout(u64 pending_key);
-  void finish(u64 pending_key, const DnsMessage& response);
+  void finish(u64 pending_key, const DnsMessage& response,
+              const Origin& origin);
   void fail(u64 pending_key, Rcode rcode);
 
   /// Choose the upstream nameserver address for `name`: cached delegation
@@ -111,7 +112,10 @@ class Resolver {
   [[nodiscard]] bool validate(const DnsMessage& response);
 
   /// Cache every in-bailiwick RRset from the response.
-  void cache_response(const DnsQuestion& q, const DnsMessage& response);
+  /// `origin` is the provenance of the wire payload the response was
+  /// decoded from; it is stored with every RRset cached from it.
+  void cache_response(const DnsQuestion& q, const DnsMessage& response,
+                      const Origin& origin);
 
   [[nodiscard]] bool is_tainted(Ipv4Addr addr) const;
 

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "obs/counters.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace dnstime::net {
@@ -87,6 +88,7 @@ void NetStack::send_udp(Ipv4Addr dst, u16 src_port, u16 dst_port,
   pkt.protocol = kProtoUdp;
   pkt.payload = encode_udp_buf(std::move(payload), src_port, dst_port, addr_,
                                dst);
+  DNSTIME_PROV_STAMP(pkt.payload, now().ns(), config_.origin_module, 0);
   u16 mtu = path_mtu(dst);
   if (pkt.total_length() <= mtu) {
     // Common case: no fragmentation, no fragment-vector allocation.
@@ -111,6 +113,7 @@ void NetStack::send_udp_fragmented(Ipv4Addr dst, u16 src_port, u16 dst_port,
   pkt.protocol = kProtoUdp;
   pkt.payload = encode_udp_buf(std::move(payload), src_port, dst_port, addr_,
                                dst);
+  DNSTIME_PROV_STAMP(pkt.payload, now().ns(), config_.origin_module, 0);
   // Force at least two fragments even when the datagram would fit: split
   // at an 8-byte boundary strictly inside the payload.
   u16 effective = mtu;
@@ -129,6 +132,17 @@ void NetStack::send_udp_fragmented(Ipv4Addr dst, u16 src_port, u16 dst_port,
 }
 
 void NetStack::send_raw(Ipv4Packet pkt) {
+  // Raw injection is the spoofing primitive: stamp the payload as spoofed
+  // and, for fragments, record the chain's "spoofed fragment planted"
+  // event (the crafted second fragments of the paper's spray).
+  DNSTIME_PROV_STAMP(pkt.payload, now().ns(), config_.origin_module,
+                     Origin::kSpoofed);
+#if DNSTIME_OBS
+  if (pkt.is_fragment()) {
+    DNSTIME_PROV_EVENT(spoofed_inject(now().ns(), pkt.payload.origin(),
+                                      pkt.id, pkt.frag_offset_units));
+  }
+#endif
   packets_tx_++;
   net_.send(std::move(pkt));
 }
@@ -213,6 +227,8 @@ void NetStack::handle_icmp(const Ipv4Packet& pkt) {
   if (mtu >= config_.default_mtu) return;
   path_mtu_[msg.orig_dst] = mtu;
   DNSTIME_TRACE_INSTANT(now().ns(), "net", "pmtu-reduced", mtu);
+  DNSTIME_PROV_EVENT(pmtu_reduced(now().ns(), config_.origin_module, mtu,
+                                  msg.orig_dst.value()));
   DNSTIME_LOG(kDebug, "netstack", addr_.to_string(), " PMTU to ",
               msg.orig_dst.to_string(), " reduced to ", mtu);
 }

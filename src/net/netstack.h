@@ -45,6 +45,9 @@ struct StackConfig {
   /// (models resolvers that filter "tiny" fragments).
   u16 min_first_fragment_size = 0;
   ReassemblyPolicy reassembly;
+  /// Provenance tag stamped onto every payload this stack emits (see
+  /// common/origin.h); scenario::World sets one per simulated role.
+  OriginModule origin_module = OriginModule::kUnknown;
 };
 
 /// (address, port) source of a received datagram.

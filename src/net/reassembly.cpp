@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/provenance.h"
+
 namespace dnstime::net {
 
 std::optional<Ipv4Packet> ReassemblyCache::insert(const Ipv4Packet& frag,
@@ -35,7 +37,12 @@ std::optional<Ipv4Packet> ReassemblyCache::insert(const Ipv4Packet& frag,
   }
 
   auto done = try_complete(key, entry);
-  if (done) erase_entry(it);
+  if (done) {
+    DNSTIME_PROV_EVENT(reassembled(now.ns(), done->payload.origin(),
+                                   done->payload.size(),
+                                   it->second.parts.size()));
+    erase_entry(it);
+  }
   return done;
 }
 
@@ -61,6 +68,23 @@ std::optional<Ipv4Packet> ReassemblyCache::try_complete(const Key& key,
   // holes, so every byte is written below (overlaps resolve in ascending
   // offset order, same as the wire semantics of duplicate coverage).
   full.payload = PacketBuf::uninitialized(entry.total_payload);
+  // The merged datagram inherits the dominant part's provenance: a spoofed
+  // part wins (that contamination is the whole point of the paper's
+  // fragment attack), otherwise the first fragment's stamp. Either way the
+  // reassembled flag marks that this payload was stitched from fragments.
+  {
+    const PacketBuf* dominant = nullptr;
+    for (const auto& [offset_units, part] : entry.parts) {
+      if (dominant == nullptr) dominant = &part;
+      if (part.origin().spoofed()) {
+        dominant = &part;
+        break;
+      }
+    }
+    Origin merged = dominant->origin();
+    merged.flags |= Origin::kReassembled;
+    full.payload.set_origin(merged);
+  }
   u8* out = full.payload.data();
   for (const auto& [offset_units, part] : entry.parts) {
     std::size_t start = std::size_t{offset_units} * 8;

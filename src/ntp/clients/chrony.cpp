@@ -1,6 +1,7 @@
 #include "ntp/clients/chrony.h"
 
 #include "common/stats.h"
+#include "obs/provenance.h"
 
 namespace dnstime::ntp {
 
@@ -40,6 +41,10 @@ void ChronyClient::refill_from_dns() {
               }
               if (!known && rr.a != stack_.addr()) {
                 sources_.push_back(std::make_unique<Association>(rr.a));
+                DNSTIME_PROV_EVENT(
+                    peer_adopted(stack_.now().ns(),
+                                 stack_.config().origin_module,
+                                 rr.a.value()));
               }
             }
           });

@@ -1,6 +1,7 @@
 #include "ntp/clients/ntpd.h"
 
 #include "common/stats.h"
+#include "obs/provenance.h"
 
 namespace dnstime::ntp {
 
@@ -41,6 +42,10 @@ void NtpdClient::refill_from_dns() {
               }
               if (!known && rr.a != stack_.addr()) {
                 assocs_.push_back(std::make_unique<Association>(rr.a));
+                DNSTIME_PROV_EVENT(
+                    peer_adopted(stack_.now().ns(),
+                                 stack_.config().origin_module,
+                                 rr.a.value()));
               }
             }
           });
@@ -96,6 +101,11 @@ void NtpdClient::run_selection() {
     }
   }
   if (peer) {
+    if (peer->addr() != system_peer_) {
+      DNSTIME_PROV_EVENT(peer_selected(stack_.now().ns(),
+                                       stack_.config().origin_module,
+                                       peer->addr().value()));
+    }
     system_peer_ = peer->addr();
     if (attached_server_) attached_server_->set_upstream(system_peer_);
   }

@@ -1,6 +1,7 @@
 #include "ntp/clients/openntpd.h"
 
 #include "common/stats.h"
+#include "obs/provenance.h"
 
 namespace dnstime::ntp {
 
@@ -20,6 +21,10 @@ void OpenntpdClient::start() {
                 break;
               }
               peers_.push_back(std::make_unique<Association>(rr.a));
+              DNSTIME_PROV_EVENT(
+                  peer_adopted(stack_.now().ns(),
+                               stack_.config().origin_module,
+                               rr.a.value()));
             }
           });
   if (!poll_loop_running_) {

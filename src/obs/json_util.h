@@ -1,0 +1,62 @@
+// Locale-free JSON formatting helpers shared by the obs writers
+// (TraceRecorder and FlightRecorder).  Every function appends into a
+// caller-owned string and is a pure function of its arguments, so the
+// writers built on them stay byte-deterministic across runs, machines and
+// thread counts.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/types.h"
+
+namespace dnstime::obs {
+
+/// Append `s` with JSON string escaping (RFC 8259: quote, backslash and
+/// control characters).
+inline void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// ts in microseconds with nanosecond decimals, locale-free: Chrome's
+/// trace_event timestamps are doubles in microseconds, and emitting the
+/// exact ns remainder keeps the writer byte-deterministic.
+inline void append_ts(std::string& out, i64 ts_ns) {
+  const bool neg = ts_ns < 0;
+  u64 abs_ns = neg ? static_cast<u64>(-(ts_ns + 1)) + 1
+                   : static_cast<u64>(ts_ns);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%llu.%03llu", neg ? "-" : "",
+                static_cast<unsigned long long>(abs_ns / 1000),
+                static_cast<unsigned long long>(abs_ns % 1000));
+  out += buf;
+}
+
+/// Shortest %.6g rendering, non-finite as null (nan/inf are not JSON).
+/// Matches campaign::json_number so a flight-recorder dump and the report
+/// format the same double the same way.
+inline void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace dnstime::obs

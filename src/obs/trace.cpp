@@ -1,42 +1,11 @@
 #include "obs/trace.h"
 
-#include <cstdio>
+#include "obs/json_util.h"
 
 namespace dnstime::obs {
 namespace {
 
 thread_local TraceRecorder* tls_trace = nullptr;
-
-void append_escaped(std::string& out, const char* s) {
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    const auto u = static_cast<unsigned char>(c);
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (u < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", u);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-}
-
-/// ts in microseconds with nanosecond decimals, locale-free: Chrome's
-/// trace_event timestamps are doubles in microseconds, and emitting the
-/// exact ns remainder keeps the writer byte-deterministic.
-void append_ts(std::string& out, i64 ts_ns) {
-  const bool neg = ts_ns < 0;
-  u64 abs_ns = neg ? static_cast<u64>(-(ts_ns + 1)) + 1
-                   : static_cast<u64>(ts_ns);
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%s%llu.%03llu", neg ? "-" : "",
-                static_cast<unsigned long long>(abs_ns / 1000),
-                static_cast<unsigned long long>(abs_ns % 1000));
-  out += buf;
-}
 
 }  // namespace
 

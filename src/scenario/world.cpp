@@ -1,5 +1,7 @@
 #include "scenario/world.h"
 
+#include "obs/provenance.h"
+
 namespace dnstime::scenario {
 
 namespace {
@@ -19,8 +21,9 @@ World::World(WorldConfig config)
   for (std::size_t i = 0; i < config_.pool_size; ++i) {
     auto ps = std::make_unique<PoolServer>();
     Ipv4Addr addr{static_cast<u32>(0x0A0A0000 + i + 1)};
-    ps->stack = std::make_unique<net::NetStack>(net_, addr,
-                                                net::StackConfig{},
+    net::StackConfig pool_sc;
+    pool_sc.origin_module = OriginModule::kPoolNtp;
+    ps->stack = std::make_unique<net::NetStack>(net_, addr, pool_sc,
                                                 rng_.fork());
     ps->clock = std::make_unique<ntp::SystemClock>(0.0);
     ntp::ServerConfig sc;
@@ -35,8 +38,10 @@ World::World(WorldConfig config)
   }
 
   // pool.ntp.org authoritative nameserver at 198.51.100.53.
+  net::StackConfig ns_sc = config_.ns_stack;
+  ns_sc.origin_module = OriginModule::kNameserver;
   ns_stack_ = std::make_unique<net::NetStack>(
-      net_, Ipv4Addr{198, 51, 100, 53}, config_.ns_stack, rng_.fork());
+      net_, Ipv4Addr{198, 51, 100, 53}, ns_sc, rng_.fork());
   nameserver_ = std::make_unique<dns::Nameserver>(*ns_stack_);
   dns::PoolZone::Config pz;
   pz.a_ttl = config_.pool_a_ttl;
@@ -50,25 +55,32 @@ World::World(WorldConfig config)
   nameserver_->add_zone(pool_zone_);
 
   // Victim recursive resolver at 10.53.0.1.
+  net::StackConfig resolver_sc = config_.resolver_stack;
+  resolver_sc.origin_module = OriginModule::kResolver;
   resolver_stack_ = std::make_unique<net::NetStack>(
-      net_, Ipv4Addr{10, 53, 0, 1}, config_.resolver_stack, rng_.fork());
+      net_, Ipv4Addr{10, 53, 0, 1}, resolver_sc, rng_.fork());
   resolver_ = std::make_unique<dns::Resolver>(*resolver_stack_,
                                               config_.resolver);
   resolver_->add_zone_hint(dns::DnsName::from_string("ntp.org"),
                            {ns_stack_->addr()});
 
   // Attacker: host 6.6.6.6, nameserver 6.6.6.53, NTP servers 6.6.7.x.
+  net::StackConfig attacker_sc;
+  attacker_sc.origin_module = OriginModule::kAttacker;
   attacker_stack_ = std::make_unique<net::NetStack>(
-      net_, Ipv4Addr{6, 6, 6, 6}, net::StackConfig{}, rng_.fork());
+      net_, Ipv4Addr{6, 6, 6, 6}, attacker_sc, rng_.fork());
+  net::StackConfig attacker_ns_sc;
+  attacker_ns_sc.origin_module = OriginModule::kAttackerNs;
   attacker_ns_stack_ = std::make_unique<net::NetStack>(
-      net_, Ipv4Addr{6, 6, 6, 53}, net::StackConfig{}, rng_.fork());
+      net_, Ipv4Addr{6, 6, 6, 53}, attacker_ns_sc, rng_.fork());
   attacker_nameserver_ = std::make_unique<dns::Nameserver>(*attacker_ns_stack_);
   auto evil_zone = std::make_shared<dns::StaticZone>(kPoolName);
   for (std::size_t i = 0; i < config_.attacker_ntp_count; ++i) {
     auto ps = std::make_unique<PoolServer>();
     Ipv4Addr addr{static_cast<u32>(0x06060700 + i + 1)};
-    ps->stack = std::make_unique<net::NetStack>(net_, addr,
-                                                net::StackConfig{},
+    net::StackConfig evil_sc;
+    evil_sc.origin_module = OriginModule::kAttackerNtp;
+    ps->stack = std::make_unique<net::NetStack>(net_, addr, evil_sc,
                                                 rng_.fork());
     ps->clock = std::make_unique<ntp::SystemClock>(0.0);
     ntp::ServerConfig sc;
@@ -86,8 +98,13 @@ World::World(WorldConfig config)
 
   // Observability: any cached answer the resolver serves that carries one
   // of these addresses is a poisoned entry (dns.poisoned_served metric).
+  // The same set feeds the trial's flight recorder so NTP peer events
+  // against attacker servers count as the chain's "peer steered" stage.
   std::vector<Ipv4Addr> tainted = attacker_ntp_addrs();
   tainted.push_back(attacker_ns_stack_->addr());
+  for (Ipv4Addr a : tainted) {
+    DNSTIME_PROV_EVENT(add_tainted(a.value()));
+  }
   resolver_->mark_tainted(std::move(tainted));
 }
 
@@ -118,6 +135,9 @@ attack::PoisonerConfig World::default_poisoner_config() const {
 
 World::Host& World::add_host(Ipv4Addr addr, net::StackConfig stack_config) {
   auto host = std::make_unique<Host>();
+  if (stack_config.origin_module == OriginModule::kUnknown) {
+    stack_config.origin_module = OriginModule::kVictim;
+  }
   host->stack =
       std::make_unique<net::NetStack>(net_, addr, stack_config, rng_.fork());
   hosts_.push_back(std::move(host));

@@ -9,11 +9,13 @@
 
 #include "bench/legacy_packet_path.h"
 #include "common/buffer.h"
+#include "common/origin.h"
 #include "common/rng.h"
 #include "net/fragmentation.h"
 #include "net/netstack.h"
 #include "net/reassembly.h"
 #include "net/udp.h"
+#include "obs/provenance.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 
@@ -190,6 +192,131 @@ TEST(BufferPool, PacketPathReturnsEveryBufferAtTrialTeardown) {
   }
   // Trial teardown: every packet buffer is back in the pool.
   EXPECT_EQ(pool.outstanding(), before);
+}
+
+/// Provenance: a stamp applied to the parent datagram survives
+/// fragmentation (every fragment is an aliasing slice carrying it) and
+/// reassembly in a shuffled arrival order, gaining only the reassembled
+/// flag.
+TEST(BufferPathProvenance, OriginSurvivesFragmentReassembleRoundTrip) {
+  Rng rng{0xC0FFEE};
+  obs::FlightRecorder flight;
+  flight.set_meta("test/prov-roundtrip", 1, 0, 0x1234);
+  obs::ScopedFlightRecorder install(&flight);
+
+  const u16 mtus[] = {68, 296, 576};
+  for (u16 mtu : mtus) {
+    Ipv4Packet pkt;
+    pkt.src = Ipv4Addr{198, 51, 100, 53};
+    pkt.dst = Ipv4Addr{10, 53, 0, 1};
+    pkt.id = static_cast<u16>(mtu);
+    pkt.payload = PacketBuf::copy_of(random_payload(rng, 2000));
+    const Origin stamped =
+        flight.stamp(/*ts_ns=*/42, OriginModule::kNameserver);
+    ASSERT_NE(stamped.seq, 0u);
+    pkt.payload.set_origin(stamped);
+
+    auto frags = fragment(pkt, mtu);
+    ASSERT_GT(frags.size(), 1u) << mtu;
+    for (const Ipv4Packet& f : frags) {
+      EXPECT_EQ(f.payload.origin(), stamped) << mtu;
+    }
+
+    std::vector<std::size_t> order(frags.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    rng.shuffle(order);
+
+    ReassemblyCache cache;
+    std::optional<Ipv4Packet> full;
+    for (std::size_t k : order) {
+      if (auto done = cache.insert(frags[k], sim::Time{})) {
+        full = std::move(done);
+      }
+    }
+    ASSERT_TRUE(full.has_value()) << mtu;
+    const Origin& merged = full->payload.origin();
+    EXPECT_EQ(merged.seq, stamped.seq) << mtu;
+    EXPECT_EQ(merged.module, OriginModule::kNameserver) << mtu;
+    EXPECT_EQ(merged.ts_ns, stamped.ts_ns) << mtu;
+    EXPECT_TRUE(merged.reassembled()) << mtu;
+    EXPECT_FALSE(merged.spoofed()) << mtu;
+  }
+  // The recorder saw one kReasmComplete event per mtu and every stamp.
+  EXPECT_EQ(flight.stamps(), 3u);
+}
+
+/// The paper's contamination semantics: when one part of a reassembled
+/// datagram was spoofed, the merged stamp is the spoofed part's — the
+/// poisoned payload is attributable to the attacker's injection even
+/// though the first fragment was legitimate.
+TEST(BufferPathProvenance, SpoofedFragmentDominatesMergedOrigin) {
+  obs::FlightRecorder flight;
+  flight.set_meta("test/prov-spoofed", 1, 0, 0x5678);
+  obs::ScopedFlightRecorder install(&flight);
+
+  const Origin legit = flight.stamp(10, OriginModule::kNameserver);
+  const Origin spoofed =
+      flight.stamp(20, OriginModule::kAttacker, Origin::kSpoofed);
+  ASSERT_TRUE(spoofed.spoofed());
+
+  auto make_frag = [](u16 offset_units, bool more, std::size_t len,
+                      const Origin& o) {
+    Ipv4Packet frag;
+    frag.src = Ipv4Addr{192, 0, 2, 1};
+    frag.dst = Ipv4Addr{10, 53, 0, 1};
+    frag.id = 7;
+    frag.frag_offset_units = offset_units;
+    frag.more_fragments = more;
+    frag.payload = PacketBuf::copy_of(Bytes(len, 0xAB));
+    frag.payload.set_origin(o);
+    return frag;
+  };
+
+  ReassemblyCache cache;
+  ASSERT_FALSE(
+      cache.insert(make_frag(0, true, 16, legit), sim::Time{}).has_value());
+  auto full =
+      cache.insert(make_frag(2, false, 16, spoofed), sim::Time{});
+  ASSERT_TRUE(full.has_value());
+  const Origin& merged = full->payload.origin();
+  EXPECT_EQ(merged.seq, spoofed.seq);
+  EXPECT_EQ(merged.module, OriginModule::kAttacker);
+  EXPECT_TRUE(merged.spoofed());
+  EXPECT_TRUE(merged.reassembled());
+}
+
+/// End-to-end through NetStack: with a recorder installed and the stack
+/// tagged with a module, a fragmented send_udp arrives at the receiver's
+/// handler still carrying the sender's stamp (plus the reassembled flag),
+/// and the recorder noted the completed reassembly.
+TEST(BufferPathProvenance, StampSurvivesNetstackDelivery) {
+  obs::FlightRecorder flight;
+  flight.set_meta("test/prov-netstack", 1, 0, 0x9abc);
+  obs::ScopedFlightRecorder install(&flight);
+
+  sim::EventLoop loop;
+  sim::Network net(loop, Rng{7});
+  StackConfig sender_cfg;
+  sender_cfg.origin_module = OriginModule::kNameserver;
+  NetStack a(net, Ipv4Addr{10, 0, 0, 1}, sender_cfg, Rng{1});
+  NetStack b(net, Ipv4Addr{10, 0, 0, 2}, StackConfig{}, Rng{2});
+
+  Origin seen;
+  b.bind_udp(53, [&](const UdpEndpoint&, u16, BufView payload) {
+    seen = payload.origin();
+  });
+  a.send_udp(b.addr(), 4444, 53, Bytes(3000, 0xCD));  // > MTU: fragments
+  loop.run_for(Duration::seconds(5));
+
+  EXPECT_NE(seen.seq, 0u);
+  EXPECT_EQ(seen.module, OriginModule::kNameserver);
+  EXPECT_TRUE(seen.reassembled());
+  EXPECT_FALSE(seen.spoofed());
+  EXPECT_GT(flight.stamps(), 0u);
+  // The completed reassembly was recorded; nothing was spoofed, so the
+  // contamination chain stage stayed untouched.
+  EXPECT_GT(flight.recorded(), 0u);
+  EXPECT_EQ(flight.chain(obs::ChainStage::kReasmSpoofed).count, 0u);
 }
 
 }  // namespace

@@ -8,6 +8,12 @@ The geometric-mean ratio of the instrumented build's per-workload "new"
 throughput to the uninstrumented build's must stay at or above the
 threshold (default 0.98, the repo's <=2% overhead budget).
 
+The same comparison gates the failure flight recorder: a bench run with
+`--flight-recorder --baseline-out BASE.json` times every workload with
+the recorder off and on in the same process and writes the recorder-off
+side to BASE.json, so `check_bench_overhead.py OUT.json BASE.json`
+holds the recorder to the identical budget.
+
 Usage:
   check_bench_overhead.py INSTRUMENTED.json UNINSTRUMENTED.json \
       [--threshold 0.98]

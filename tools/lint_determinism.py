@@ -23,6 +23,12 @@ machines.  This lint walks the directories that own that contract
   address      address-dependent values: %p, pointer->integer casts,
                std::hash over pointers.  Addresses differ run to run
                (ASLR), so they must never feed reports or seeds.
+  thread-id    thread identity (std::this_thread::get_id, pthread_self,
+               gettid).  Which worker executes a trial is scheduling-
+               dependent, so a thread id reaching any recorded event or
+               report breaks cross-thread-count byte identity.  The
+               provenance/flight-recorder layer (src/obs) must label
+               events with sim-derived ids only.
 
 Waivers: a finding is suppressed when the offending line — or the line
 directly above it — carries
@@ -65,6 +71,12 @@ RULES = {
         re.compile(r"reinterpret_cast<\s*(std::)?u?intptr_t\s*>"),
         re.compile(r"static_cast<\s*(std::)?u?intptr_t\s*>"),
         re.compile(r"std::hash<[^<>]*\*\s*>"),
+    ],
+    "thread-id": [
+        re.compile(r"\bthis_thread\s*::\s*get_id\s*\("),
+        re.compile(r"\bpthread_self\s*\("),
+        re.compile(r"\bgettid\s*\("),
+        re.compile(r"\bthread\s*::\s*id\b"),
     ],
 }
 

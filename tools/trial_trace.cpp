@@ -9,13 +9,22 @@
 //
 // Usage:
 //   trial_trace SCENARIO [--trial N] [--seed S] [--out FILE]
+//   trial_trace --trace-index N [--trials T] [--seed S] [--out FILE]
 //   trial_trace --list
 //
-//   SCENARIO     built-in scenario name (e.g. table2/ntpd-p1)
-//   --trial N    trial index within the scenario (default 0)
-//   --seed S     campaign seed (default 0x5eed, the CampaignConfig default)
-//   --out FILE   write the JSON there instead of stdout
-//   --list       print the built-in scenario names and exit
+//   SCENARIO        built-in scenario name (e.g. table2/ntpd-p1), or its
+//                   FNV-1a name hash — the journal record key, decimal or
+//                   0x-hex — so a scenario can be looked up straight from
+//                   a journal shard or a report without knowing its name
+//   --trial N       trial index within the scenario (default 0)
+//   --trace-index N flattened trial index as the campaign runner counts
+//                   them (scenario_index * trials + trial_index over the
+//                   built-in registry); an alternative to SCENARIO/--trial
+//   --trials T      trials per scenario used to unflatten --trace-index
+//                   (default 8, the CampaignConfig default)
+//   --seed S        campaign seed (default 0x5eed)
+//   --out FILE      write the JSON there instead of stdout
+//   --list          print the built-in scenario names and exit
 //
 // Open the output in Perfetto (ui.perfetto.dev) or chrome://tracing; the
 // trial summary goes to stderr so stdout stays valid JSON when piped.
@@ -27,6 +36,7 @@
 
 #include "campaign/runner.h"
 #include "campaign/scenario_spec.h"
+#include "campaign/store/journal.h"
 #include "campaign/trial.h"
 #include "obs/trace.h"
 
@@ -35,10 +45,12 @@ using namespace dnstime;
 namespace {
 
 void usage(const char* prog) {
-  std::fprintf(stderr,
-               "usage: %s SCENARIO [--trial N] [--seed S] [--out FILE]\n"
-               "       %s --list\n",
-               prog, prog);
+  std::fprintf(
+      stderr,
+      "usage: %s SCENARIO [--trial N] [--seed S] [--out FILE]\n"
+      "       %s --trace-index N [--trials T] [--seed S] [--out FILE]\n"
+      "       %s --list\n",
+      prog, prog, prog);
 }
 
 bool parse_u64_token(const char* s, u64& out) {
@@ -52,6 +64,44 @@ bool parse_u64_token(const char* s, u64& out) {
   return true;
 }
 
+/// Accepts the journal-key forms of a scenario hash: 0x-prefixed hex or a
+/// plain decimal u64.
+bool parse_hash_token(const char* s, u64& out) {
+  if (s != nullptr && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') &&
+      s[2] != '\0') {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s + 2, &end, 16);
+    if (errno != ERANGE && *end == '\0') {
+      out = v;
+      return true;
+    }
+    return false;
+  }
+  return parse_u64_token(s, out);
+}
+
+/// Scenario lookup by name, falling back to the FNV-1a name hash that
+/// keys journal records (so `trial_trace 0xdeadbeef...` works straight
+/// from a shard dump). Returns nullptr when neither matches.
+const campaign::ScenarioSpec* find_scenario(
+    const campaign::ScenarioRegistry& registry, const std::string& token) {
+  if (const campaign::ScenarioSpec* spec = registry.find(token)) return spec;
+  u64 hash = 0;
+  if (!parse_hash_token(token.c_str(), hash)) return nullptr;
+  for (const campaign::ScenarioSpec& spec : registry.all()) {
+    if (campaign::store::fnv1a(spec.name) == hash) return &spec;
+  }
+  return nullptr;
+}
+
+void list_names(const char* prog, const campaign::ScenarioRegistry& registry) {
+  std::fprintf(stderr, "%s: valid scenario names:\n", prog);
+  for (const campaign::ScenarioSpec& spec : registry.all()) {
+    std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +109,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   u64 campaign_seed = 0x5eed;
   u64 trial = 0;
+  u64 trace_index = 0;
+  u64 trials_per_scenario = 8;  // the CampaignConfig default
+  bool have_trace_index = false;
   bool list = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -69,6 +122,8 @@ int main(int argc, char** argv) {
     }
     const bool takes_value = std::strcmp(arg, "--trial") == 0 ||
                              std::strcmp(arg, "--seed") == 0 ||
+                             std::strcmp(arg, "--trace-index") == 0 ||
+                             std::strcmp(arg, "--trials") == 0 ||
                              std::strcmp(arg, "--out") == 0;
     if (takes_value) {
       if (i + 1 >= argc) {
@@ -89,6 +144,17 @@ int main(int argc, char** argv) {
         }
         if (std::strcmp(arg, "--trial") == 0) {
           trial = parsed;
+        } else if (std::strcmp(arg, "--trace-index") == 0) {
+          trace_index = parsed;
+          have_trace_index = true;
+        } else if (std::strcmp(arg, "--trials") == 0) {
+          if (parsed == 0) {
+            std::fprintf(stderr, "%s: '--trials' must be at least 1\n",
+                         argv[0]);
+            usage(argv[0]);
+            return 2;
+          }
+          trials_per_scenario = parsed;
         } else {
           campaign_seed = parsed;
         }
@@ -116,17 +182,43 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (scenario_name.empty()) {
+  if (scenario_name.empty() && !have_trace_index) {
     usage(argv[0]);
     return 2;
   }
-  const campaign::ScenarioSpec* spec = registry.find(scenario_name);
-  if (spec == nullptr) {
+  if (!scenario_name.empty() && have_trace_index) {
     std::fprintf(stderr,
-                 "%s: unknown scenario '%s' (run with --list to see the "
-                 "built-in names)\n",
-                 argv[0], scenario_name.c_str());
+                 "%s: give either SCENARIO or '--trace-index', not both\n",
+                 argv[0]);
+    usage(argv[0]);
     return 2;
+  }
+  const campaign::ScenarioSpec* spec = nullptr;
+  if (have_trace_index) {
+    // The campaign runner's flattening: scenario_index * trials + trial.
+    const u64 total = registry.all().size() * trials_per_scenario;
+    if (trace_index >= total) {
+      std::fprintf(stderr,
+                   "%s: trace index %llu out of range: %zu built-in "
+                   "scenarios x %llu trials = %llu flattened trials\n",
+                   argv[0], static_cast<unsigned long long>(trace_index),
+                   registry.all().size(),
+                   static_cast<unsigned long long>(trials_per_scenario),
+                   static_cast<unsigned long long>(total));
+      return 2;
+    }
+    spec = &registry.all()[trace_index / trials_per_scenario];
+    trial = trace_index % trials_per_scenario;
+  } else {
+    spec = find_scenario(registry, scenario_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr,
+                   "%s: unknown scenario '%s' (not a built-in name or "
+                   "FNV-1a name hash)\n",
+                   argv[0], scenario_name.c_str());
+      list_names(argv[0], registry);
+      return 2;
+    }
   }
   if (trial > 0xFFFFFFFFull) {
     std::fprintf(stderr, "%s: trial index out of range\n", argv[0]);
