@@ -1,0 +1,236 @@
+// Timer-wheel microbenchmark: sim::TimerWheel (hashed hierarchical wheel)
+// versus sim::EventLoop (4-ary heap) on the population-world workload
+// shapes — huge fleets of near-identical periodic poll timers — plus the
+// shapes the heap is tuned for, so the crossover is visible:
+//
+//   poll_fleet      N self-rescheduling ~64 s poll timers (the
+//                   ClientPopulation steady state); the wheel's O(1)
+//                   placement vs the heap's O(log n) sift;
+//   spread_burst    one-shot deadlines spread over an hour, schedule then
+//                   drain;
+//   cancel_churn    schedule + cancel churn (timeout-shaped).
+//
+// Results go to stdout and BENCH_timerwheel.json (CI uploads the JSON, so
+// the events/sec trajectory is tracked per commit). Field names mirror
+// BENCH_eventloop.json: "legacy" = the heap EventLoop, "new" = the wheel.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "sim/timer_wheel.h"
+
+namespace dnstime::bench {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The ClientPopulation steady state: `fleet` timers, all with poll-scale
+/// periods on a whole-second grid, each rescheduling itself until the
+/// shared fire budget is spent.
+template <class Loop>
+struct PollTimer {
+  Loop& loop;
+  u64& fired;
+  u64 total_fires;
+  Duration period;
+  void tick() {
+    if (++fired >= total_fires) return;
+    loop.schedule_after(period, [this] { tick(); });
+  }
+};
+
+template <class Loop>
+u64 poll_fleet(u64 total_fires, u32 fleet) {
+  Loop loop;
+  u64 fired = 0;
+  std::vector<PollTimer<Loop>> timers;
+  timers.reserve(fleet);
+  for (u32 i = 0; i < fleet; ++i) {
+    // 64..79 s periods on a 1 s grid, staggered starts: dense cohorts at
+    // equal timestamps, exactly like a population world.
+    timers.push_back(PollTimer<Loop>{loop, fired, total_fires,
+                                     Duration::seconds(64 + (i & 15))});
+    loop.schedule_after(Duration::seconds(1 + (i % 64)),
+                        [t = &timers.back()] { t->tick(); });
+  }
+  loop.run_all();
+  return fired;
+}
+
+/// One-shot deadlines spread over an hour: schedule everything, drain.
+template <class Loop>
+u64 spread_burst(u64 total_events) {
+  Loop loop;
+  Rng rng(0x5eed);
+  u64 fired = 0;
+  constexpr u64 kBatch = 1u << 16;
+  for (u64 done = 0; done < total_events;) {
+    const u64 n = std::min(kBatch, total_events - done);
+    for (u64 i = 0; i < n; ++i) {
+      loop.schedule_after(
+          Duration::millis(static_cast<i64>(rng.uniform(1, 3'600'000))),
+          [&fired] { fired++; });
+    }
+    loop.run_all();
+    done += n;
+  }
+  return fired;
+}
+
+/// Timeout shape: schedule a deadline per "query", cancel 7 of 8.
+template <class Loop>
+u64 cancel_churn(u64 total_events) {
+  Loop loop;
+  u64 fired = 0;
+  constexpr u64 kBatch = 2048;
+  for (u64 done = 0; done < total_events;) {
+    const u64 n = std::min(kBatch, total_events - done);
+    std::vector<decltype(loop.schedule_after(Duration{}, [] {}))> handles;
+    handles.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+      handles.push_back(
+          loop.schedule_after(Duration::seconds(2), [&fired] { fired++; }));
+    }
+    for (u64 i = 0; i < n; ++i) {
+      if (i % 8 != 0) handles[i].cancel();
+    }
+    loop.run_all();
+    done += n;
+  }
+  return fired;
+}
+
+struct WorkloadResult {
+  std::string name;
+  u64 events = 0;
+  double legacy_s = 0.0;  ///< heap EventLoop
+  double new_s = 0.0;     ///< TimerWheel
+  [[nodiscard]] double legacy_eps() const {
+    return static_cast<double>(events) / legacy_s;
+  }
+  [[nodiscard]] double new_eps() const {
+    return static_cast<double>(events) / new_s;
+  }
+  [[nodiscard]] double speedup() const { return legacy_s / new_s; }
+};
+
+template <class Fn>
+double timed(int repeat, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    double s = seconds_since(start);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace dnstime::bench
+
+int main(int argc, char** argv) {
+  using namespace dnstime;
+  using namespace dnstime::bench;
+
+  u64 scale = 2'000'000;
+  u32 fleet = 100'000;
+  int repeat = 3;
+  std::string out_path = "BENCH_timerwheel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+      fleet = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale N] [--fleet N] [--repeat N] "
+                   "[--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  header("timer wheel vs event-loop heap: population timer workloads");
+
+  std::vector<WorkloadResult> results;
+  {
+    WorkloadResult r{.name = "poll_fleet", .events = scale};
+    r.legacy_s =
+        timed(repeat, [&] { poll_fleet<sim::EventLoop>(scale, fleet); });
+    r.new_s = timed(repeat, [&] { poll_fleet<sim::TimerWheel>(scale, fleet); });
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{.name = "spread_burst", .events = scale};
+    r.legacy_s = timed(repeat, [&] { spread_burst<sim::EventLoop>(scale); });
+    r.new_s = timed(repeat, [&] { spread_burst<sim::TimerWheel>(scale); });
+    results.push_back(r);
+  }
+  {
+    WorkloadResult r{.name = "cancel_churn", .events = scale};
+    r.legacy_s = timed(repeat, [&] { cancel_churn<sim::EventLoop>(scale); });
+    r.new_s = timed(repeat, [&] { cancel_churn<sim::TimerWheel>(scale); });
+    results.push_back(r);
+  }
+
+  std::printf("  %-14s %12s %14s %14s %9s\n", "workload", "events",
+              "heap ev/s", "wheel ev/s", "speedup");
+  std::printf("  ");
+  for (int i = 0; i < 66; ++i) std::printf("-");
+  std::printf("\n");
+  double speedup_product = 1.0;
+  for (const WorkloadResult& r : results) {
+    std::printf("  %-14s %12llu %14.0f %14.0f %8.2fx\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.legacy_eps(),
+                r.new_eps(), r.speedup());
+    speedup_product *= r.speedup();
+  }
+  const double geomean =
+      std::pow(speedup_product, 1.0 / static_cast<double>(results.size()));
+  std::printf("  geomean speedup: %.2fx\n", geomean);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\":\"timerwheel\",\"scale\":%llu,\"workloads\":[",
+               static_cast<unsigned long long>(scale));
+  double product = 1.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"name\":\"%s\",\"events\":%llu,\"legacy_s\":%.4f,"
+                 "\"new_s\":%.4f,\"legacy_events_per_sec\":%.0f,"
+                 "\"new_events_per_sec\":%.0f,\"speedup\":%.3f}",
+                 i ? "," : "", r.name.c_str(),
+                 static_cast<unsigned long long>(r.events), r.legacy_s,
+                 r.new_s, r.legacy_eps(), r.new_eps(), r.speedup());
+    product *= r.speedup();
+  }
+  std::fprintf(f, "],\"geomean_speedup\":%.3f}\n",
+               std::pow(product, 1.0 / static_cast<double>(results.size())));
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}

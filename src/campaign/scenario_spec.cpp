@@ -166,6 +166,8 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   reg.add(boot_time_scenario());
   reg.add(chronos_scenario());
   reg.add(forensics_frag_filter_scenario());
+  reg.add(population_shared_resolver_scenario());
+  reg.add(population_ratelimit_herd_scenario());
   for (auto& s : mtu_sweep()) reg.add(std::move(s));
   for (auto& s : pool_size_sweep()) reg.add(std::move(s));
   for (auto& s : rate_limit_sweep()) reg.add(std::move(s));

@@ -81,6 +81,10 @@ struct ScenarioSpec {
   /// Chronos only: honest hourly rounds completed before the poisoning
   /// lands (the paper's window is N <= 11).
   int chronos_honest_rounds = 6;
+  /// population/* only: fleet size hosted by the trial's ClientPopulation
+  /// (0 for the single-victim scenarios). Specs are not serialised into
+  /// reports, so this does not touch the report schema.
+  u32 population_clients = 0;
   /// kCustom only: the trial body. Must be thread-safe (it is invoked
   /// concurrently for different trials) and deterministic in ctx.seed.
   std::function<TrialResult(const ScenarioSpec&, const TrialContext&)>
@@ -124,6 +128,23 @@ class ScenarioRegistry {
 /// Exists to exercise the forensics path (--dump / attack_narrative): the
 /// dump names the exact break point. Short deadline keeps trials cheap.
 [[nodiscard]] ScenarioSpec forensics_frag_filter_scenario();
+
+// --- population scenarios ---------------------------------------------------
+// Fleet-scale worlds on scenario::ClientPopulation (kCustom trials). The
+// trial metric is the fraction of the fleet shifted past
+// stop.success_shift; clock_shift_s reports the fleet's mean shift.
+
+/// §VIII-B3 at fleet scale: `clients` NTP clients behind one shared
+/// recursive resolver. The trial poisons the resolver's delegation once
+/// and measures how far the shift migrates through the fleet as the
+/// clients' DNS answers expire.
+[[nodiscard]] ScenarioSpec population_shared_resolver_scenario(
+    u32 clients = 100'000);
+/// §VII-A herd effect: the whole fleet polls a small, fully rate-limiting
+/// pool. The metric is the fraction of client-polls answered by KoD or
+/// silence; success = the herd actually tripped the limiters.
+[[nodiscard]] ScenarioSpec population_ratelimit_herd_scenario(
+    u32 clients = 100'000);
 
 // --- parameter sweeps -------------------------------------------------------
 // Each returns one spec per value, named "<stem>/<value>". Sweeps use the

@@ -102,7 +102,11 @@ struct WilsonInterval {
 [[nodiscard]] inline WilsonInterval wilson_interval(u64 successes, u64 trials,
                                                     double z = 1.96) {
   WilsonInterval w;
-  if (trials == 0 || successes > trials) return w;
+  // Explicitly the vacuous [0, 1] — not a confident [0, 0] — so a progress
+  // stream queried before the first trial completes renders "no information
+  // yet" rather than "certainly 0%". Pinned in the stats and forensics
+  // tests; do not let this degrade to value-initialised members.
+  if (trials == 0 || successes > trials) return WilsonInterval{0.0, 1.0};
   const double n = static_cast<double>(trials);
   const double p = static_cast<double>(successes) / n;
   const double z2 = z * z;

@@ -1,5 +1,7 @@
 #include "ntp/client_base.h"
 
+#include "ntp/poll_policy.h"
+
 namespace dnstime::ntp {
 
 NtpClientBase::NtpClientBase(net::NetStack& stack, SystemClock& clock,
@@ -66,18 +68,22 @@ void NtpClientBase::resolve(const std::string& domain,
 }
 
 bool NtpClientBase::discipline(double offset, bool at_boot) {
-  double mag = offset < 0 ? -offset : offset;
-  if (mag < 0.0005) return false;  // within noise
-  if (mag <= config_.step_threshold) {
-    clock_.slew(offset, stack_.now());
-    return true;
+  const PollPolicy policy{.step_threshold = config_.step_threshold,
+                          .panic_threshold = config_.panic_threshold,
+                          .allow_panic_at_boot = config_.allow_panic_at_boot};
+  switch (classify_offset(offset, at_boot, policy)) {
+    case OffsetAction::kNone:
+      return false;
+    case OffsetAction::kSlew:
+      clock_.slew(offset, stack_.now());
+      return true;
+    case OffsetAction::kStep:
+      clock_.step(offset, stack_.now());
+      return true;
+    case OffsetAction::kRefuse:
+      return false;  // panic: refuse
   }
-  if (mag <= config_.panic_threshold ||
-      (at_boot && config_.allow_panic_at_boot)) {
-    clock_.step(offset, stack_.now());
-    return true;
-  }
-  return false;  // panic: refuse
+  return false;
 }
 
 }  // namespace dnstime::ntp

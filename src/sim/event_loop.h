@@ -39,8 +39,12 @@ using EventFn = SmallFn<void()>;
 
 class EventLoop;
 
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-/// stays queued but is skipped when popped. Handles are generation-checked:
+/// Handle used to cancel a scheduled event. The heap node stays queued until
+/// its timestamp pops (and is then skipped), but the callback itself is
+/// destroyed eagerly by cancel(): a cancelled callback can capture resources
+/// with global accounting (a PacketBuf keeping pool blocks outstanding, an
+/// object keep-alive) and must not pin them until some far-future timestamp
+/// is reached. Handles are generation-checked:
 /// once the event has fired or been cancelled, the handle goes stale and
 /// cancel() is a no-op even if the internal slot has been recycled for a
 /// newer event. A handle must not outlive its EventLoop (holders in this
@@ -245,7 +249,12 @@ class EventLoop {
 inline void EventHandle::cancel() {
   if (loop_ == nullptr) return;
   auto& s = loop_->slots_[slot_];
-  if (s.live && s.gen == gen_) s.cancelled = true;
+  if (s.live && s.gen == gen_) {
+    s.cancelled = true;
+    // Release captured resources now, not when the timestamp pops: step()
+    // only invokes the callback when uncancelled, so an empty fn is safe.
+    s.fn = EventFn{};
+  }
 }
 
 inline bool EventHandle::valid() const {

@@ -7,34 +7,81 @@
 
 #include <compare>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "common/types.h"
 
 namespace dnstime::sim {
 
-/// A span of virtual time, nanosecond resolution.
+namespace detail {
+
+/// Saturating i64 arithmetic for time math. Poll timers scheduled at hour
+/// horizons (or Duration::hours on an already-large count) would otherwise
+/// hit signed-overflow UB; clamping to the representable range keeps every
+/// in-range value bit-identical and turns the out-of-range cases into
+/// "effectively never" / "effectively forever" instead of UB.
+[[nodiscard]] constexpr i64 sat_add(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? std::numeric_limits<i64>::max()
+                 : std::numeric_limits<i64>::min();
+  }
+  return out;
+}
+
+[[nodiscard]] constexpr i64 sat_sub(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return b < 0 ? std::numeric_limits<i64>::max()
+                 : std::numeric_limits<i64>::min();
+  }
+  return out;
+}
+
+[[nodiscard]] constexpr i64 sat_mul(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return ((a > 0) == (b > 0)) ? std::numeric_limits<i64>::max()
+                                : std::numeric_limits<i64>::min();
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// A span of virtual time, nanosecond resolution. Construction and
+/// arithmetic saturate at the i64 nanosecond range (~±292 years) instead of
+/// overflowing.
 class Duration {
  public:
   constexpr Duration() = default;
   [[nodiscard]] static constexpr Duration nanos(i64 n) { return Duration{n}; }
   [[nodiscard]] static constexpr Duration micros(i64 n) {
-    return Duration{n * 1'000};
+    return Duration{detail::sat_mul(n, 1'000)};
   }
   [[nodiscard]] static constexpr Duration millis(i64 n) {
-    return Duration{n * 1'000'000};
+    return Duration{detail::sat_mul(n, 1'000'000)};
   }
   [[nodiscard]] static constexpr Duration seconds(i64 n) {
-    return Duration{n * 1'000'000'000};
+    return Duration{detail::sat_mul(n, 1'000'000'000)};
   }
   [[nodiscard]] static constexpr Duration minutes(i64 n) {
-    return seconds(n * 60);
+    return Duration{detail::sat_mul(n, 60LL * 1'000'000'000)};
   }
   [[nodiscard]] static constexpr Duration hours(i64 n) {
-    return minutes(n * 60);
+    return Duration{detail::sat_mul(n, 3'600LL * 1'000'000'000)};
   }
   [[nodiscard]] static constexpr Duration from_seconds_f(double s) {
-    return Duration{static_cast<i64>(s * 1e9)};
+    const double ns = s * 1e9;
+    if (ns != ns) return Duration{0};  // NaN carries no meaningful span.
+    if (ns >= 9223372036854775808.0) {
+      return Duration{std::numeric_limits<i64>::max()};
+    }
+    if (ns <= -9223372036854775808.0) {
+      return Duration{std::numeric_limits<i64>::min()};
+    }
+    return Duration{static_cast<i64>(ns)};
   }
 
   [[nodiscard]] constexpr i64 ns() const { return ns_; }
@@ -46,15 +93,19 @@ class Duration {
   }
 
   friend constexpr Duration operator+(Duration a, Duration b) {
-    return Duration{a.ns_ + b.ns_};
+    return Duration{detail::sat_add(a.ns_, b.ns_)};
   }
   friend constexpr Duration operator-(Duration a, Duration b) {
-    return Duration{a.ns_ - b.ns_};
+    return Duration{detail::sat_sub(a.ns_, b.ns_)};
   }
   friend constexpr Duration operator*(Duration a, i64 k) {
-    return Duration{a.ns_ * k};
+    return Duration{detail::sat_mul(a.ns_, k)};
   }
   friend constexpr Duration operator/(Duration a, i64 k) {
+    // i64 min / -1 is the one overflowing division.
+    if (a.ns_ == std::numeric_limits<i64>::min() && k == -1) {
+      return Duration{std::numeric_limits<i64>::max()};
+    }
     return Duration{a.ns_ / k};
   }
   friend constexpr auto operator<=>(Duration, Duration) = default;
@@ -76,13 +127,13 @@ class Time {
   }
 
   friend constexpr Time operator+(Time t, Duration d) {
-    return Time{t.ns_ + d.ns()};
+    return Time{detail::sat_add(t.ns_, d.ns())};
   }
   friend constexpr Time operator-(Time t, Duration d) {
-    return Time{t.ns_ - d.ns()};
+    return Time{detail::sat_sub(t.ns_, d.ns())};
   }
   friend constexpr Duration operator-(Time a, Time b) {
-    return Duration::nanos(a.ns_ - b.ns_);
+    return Duration::nanos(detail::sat_sub(a.ns_, b.ns_));
   }
   friend constexpr auto operator<=>(Time, Time) = default;
 

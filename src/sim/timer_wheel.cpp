@@ -1,0 +1,214 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dnstime::sim {
+
+// Placement and advancement both reason in "ticks" (time >> kTickBits).
+// Invariants the proofs in the comments below lean on:
+//  * the cursor only moves forward, and only to the minimal candidate tick
+//    over every occupied bucket — so no occupied bucket is ever skipped;
+//  * a level-0 bucket holds exactly one tick value at a time (two ticks in
+//    the same slot differ by a multiple of 256, but level-0 placement
+//    requires delta < 256 from a cursor that only grows);
+//  * for levels >= 1, the bucket at the cursor's own slot is always empty:
+//    a placement landing there would have delta < 256^level and therefore
+//    goes to a lower level instead, and jumps cascade the bucket they land
+//    on in the same step.
+
+int WheelQueue::scan_from(const Bitmap& bm, u32 from) {
+  if (from >= kSlots) return -1;
+  u32 w = from >> 6;
+  u64 word = bm[w] & (~0ull << (from & 63));
+  for (;;) {
+    if (word != 0) {
+      return static_cast<int>(w * 64 +
+                              static_cast<u32>(__builtin_ctzll(word)));
+    }
+    if (++w == kWords) return -1;
+    word = bm[w];
+  }
+}
+
+void WheelQueue::push(Time at, u32 payload) {
+  place(WheelEntry{at, next_seq_++, payload});
+  size_++;
+}
+
+void WheelQueue::place(const WheelEntry& e) {
+  const u64 tick = tick_of(e.at);
+  if (tick <= cur_) {
+    ready_push(e);
+    return;
+  }
+  const u64 delta = tick - cur_;
+  if (delta >= kHorizon) {
+    overflow_.push_back(e);
+    if (tick < overflow_min_) overflow_min_ = tick;
+    return;
+  }
+  u32 level = 0;
+  while (delta >> (kLevelBits * (level + 1)) != 0) level++;
+  const u32 pos =
+      static_cast<u32>((tick >> (kLevelBits * level)) & (kSlots - 1));
+  auto& bucket = buckets_[level][pos];
+  if (bucket.size() == bucket.capacity()) {
+    // Grow cohort buckets at 1.25x, not the libstdc++ 2x: with 10^7-scale
+    // cohorts the doubling slack alone busts the population's 64 B/client
+    // budget, and the extra copies amortise to ~3 entry-copies per push.
+    bucket.reserve(bucket.capacity() + bucket.capacity() / 4 + 8);
+  }
+  bucket.push_back(e);
+  bitmap_[level][pos >> 6] |= 1ull << (pos & 63);
+}
+
+void WheelQueue::ready_push(const WheelEntry& e) {
+  ready_.push_back(e);
+  std::push_heap(ready_.begin(), ready_.end(), later);
+}
+
+void WheelQueue::trim_drained(std::vector<WheelEntry>& bucket) {
+  // A drained bucket that keeps a cohort-sized buffer parks that memory in
+  // one of 1024 slots it may not revisit for a long time; at population
+  // scale (10^5+ armed timers, dense per-second cohorts) that slack
+  // dominates resident size. Release anything beyond a small keep
+  // threshold — the next cohort regrows it with O(log n) reallocations,
+  // amortised noise against n pushes.
+  if (bucket.capacity() > kBucketKeepEntries) {
+    std::vector<WheelEntry>().swap(bucket);
+  } else {
+    bucket.clear();
+  }
+}
+
+void WheelQueue::cascade(u32 level, u32 pos) {
+  bitmap_[level][pos >> 6] &= ~(1ull << (pos & 63));
+  auto& bucket = buckets_[level][pos];
+  scratch_.clear();
+  scratch_.swap(bucket);
+  // The swap parked scratch_'s old buffer in the drained bucket; trim it
+  // so cascades do not scatter cohort-sized buffers across the wheel.
+  trim_drained(bucket);
+  for (const WheelEntry& e : scratch_) place(e);
+  cascades_++;
+}
+
+void WheelQueue::drain_level0(u32 pos) {
+  bitmap_[0][pos >> 6] &= ~(1ull << (pos & 63));
+  auto& bucket = buckets_[0][pos];
+  for (const WheelEntry& e : bucket) {
+    assert(tick_of(e.at) == cur_);
+    ready_push(e);
+  }
+  trim_drained(bucket);
+}
+
+void WheelQueue::refill_from_overflow() {
+  scratch_.clear();
+  scratch_.swap(overflow_);
+  overflow_min_ = std::numeric_limits<u64>::max();
+  for (const WheelEntry& e : scratch_) place(e);
+}
+
+void WheelQueue::advance_to_ready() {
+  for (;;) {
+    // Overflow entries must re-enter the wheel as soon as their tick is
+    // within the horizon — a later push can land *beyond* an overflow
+    // entry's deadline, so overflow cannot simply wait for the wheel to
+    // drain.
+    if (!overflow_.empty() && overflow_min_ < cur_ + kHorizon) {
+      refill_from_overflow();
+      continue;
+    }
+
+    // Per-level candidate: the smallest tick any occupied bucket could
+    // deliver. Level 0 buckets hold a single tick, so their candidate is
+    // exact; higher levels use the bucket's start tick (a lower bound),
+    // which is safe because every entry in the bucket is >= it.
+    u64 cand_tick[kLevels];
+    int cand_pos[kLevels];
+    u64 best = std::numeric_limits<u64>::max();
+    for (u32 l = 0; l < kLevels; ++l) {
+      cand_tick[l] = std::numeric_limits<u64>::max();
+      cand_pos[l] = -1;
+      const u32 shift = kLevelBits * l;
+      const u64 unit_cursor = cur_ >> shift;
+      const u32 sl = static_cast<u32>(unit_cursor & (kSlots - 1));
+      if (l == 0) {
+        int p = scan_from(bitmap_[0], sl);
+        if (p < 0) p = scan_from(bitmap_[0], 0);  // wrapped: next window
+        if (p >= 0) {
+          cand_pos[0] = p;
+          cand_tick[0] = tick_of(buckets_[0][static_cast<u32>(p)].front().at);
+        }
+      } else {
+        int p = scan_from(bitmap_[l], sl + 1);
+        u64 unit = 0;
+        if (p >= 0) {
+          unit = (unit_cursor - sl) + static_cast<u32>(p);
+        } else {
+          p = scan_from(bitmap_[l], 0);  // wrapped: next window
+          if (p >= 0) unit = (unit_cursor - sl) + kSlots + static_cast<u32>(p);
+        }
+        if (p >= 0) {
+          cand_pos[l] = p;
+          cand_tick[l] = unit << shift;
+        }
+      }
+      if (cand_tick[l] < best) best = cand_tick[l];
+    }
+
+    if (best == std::numeric_limits<u64>::max()) {
+      // Wheel empty. Either the ready heap already has the minimum, or
+      // only far-future overflow remains: jump the cursor near it so the
+      // refill branch above picks it up.
+      if (!ready_.empty() || overflow_.empty()) return;
+      cur_ = overflow_min_ & ~(kHorizon - 1);
+      continue;
+    }
+    if (!ready_.empty() && best > cur_) return;
+
+    // Process *every* bucket whose candidate tick ties the minimum,
+    // highest level first: a jump makes the landed-on slot the current one
+    // at each level, and the current slot is never rescanned, so a tied
+    // bucket left unprocessed here would be orphaned.
+    cur_ = best;
+    for (u32 l = kLevels; l-- > 1;) {
+      if (cand_tick[l] == best) {
+        cascade(l, static_cast<u32>(cand_pos[l]));
+      }
+    }
+    if (cand_tick[0] == best) drain_level0(static_cast<u32>(cand_pos[0]));
+  }
+}
+
+std::size_t WheelQueue::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& level : buckets_) {
+    for (const auto& bucket : level) {
+      bytes += bucket.capacity() * sizeof(WheelEntry);
+    }
+  }
+  bytes += ready_.capacity() * sizeof(WheelEntry);
+  bytes += overflow_.capacity() * sizeof(WheelEntry);
+  bytes += scratch_.capacity() * sizeof(WheelEntry);
+  return bytes;
+}
+
+const WheelEntry* WheelQueue::peek() {
+  if (size_ == 0) return nullptr;
+  if (ready_.empty()) advance_to_ready();
+  return &ready_.front();
+}
+
+bool WheelQueue::pop(WheelEntry& out) {
+  if (peek() == nullptr) return false;
+  out = ready_.front();
+  std::pop_heap(ready_.begin(), ready_.end(), later);
+  ready_.pop_back();
+  size_--;
+  return true;
+}
+
+}  // namespace dnstime::sim

@@ -1,0 +1,297 @@
+// Hierarchical timer wheel — the population-scale sibling of EventLoop.
+//
+// EventLoop's 4-ary heap is the right shape for the single-victim worlds
+// (tens of thousands of heterogeneous events, O(log n) each). A population
+// world schedules millions of near-identical periodic poll timers, where a
+// heap wastes its comparisons: a hashed hierarchical wheel places a timer
+// in O(1) and pays O(1) amortised per fire (each entry cascades at most
+// once per level). See src/sim/README.md for the heap-vs-wheel selection
+// guidance.
+//
+// Determinism contract (same replay contract as EventLoop, validated
+// against it as an oracle in tests/sim/timer_wheel_test.cpp):
+//  * entries fire in (time, insertion-sequence) order — equal deadlines
+//    fire FIFO, regardless of which bucket or cascade path delivered them;
+//  * the firing order is a pure function of the push/cancel call sequence:
+//    no container iteration order, host clock or allocator address leaks
+//    into it.
+//
+// Two layers:
+//  * WheelQueue — the pure priority structure over {time, seq, payload}
+//    words. ClientPopulation drives it directly with client indices as
+//    payloads (24 bytes per armed timer, no callbacks).
+//  * TimerWheel — an EventLoop-compatible façade (schedule_at/run_until/
+//    cancellation handles/SmallFn callbacks) for code that wants wheel
+//    scaling behind the familiar loop API.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/function.h"
+#include "obs/counters.h"
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace dnstime::sim {
+
+/// One queued deadline: absolute time, global insertion sequence (the FIFO
+/// tie-breaker) and a caller-owned payload word. Trivially copyable, 24
+/// bytes — buckets shuffle these, never callbacks.
+struct WheelEntry {
+  Time at;
+  u64 seq = 0;
+  u32 payload = 0;
+};
+
+/// Monotone priority queue on a hashed hierarchical wheel: 4 levels x 256
+/// slots at a 2^20 ns (~1.05 ms) tick, per-level occupancy bitmaps for
+/// skip-scanning, and an overflow list for deadlines beyond the ~52-day
+/// horizon. Entries that reach the cursor's tick collect in a small
+/// (time, seq)-ordered ready heap, which is what makes intra-tick ordering
+/// exact rather than bucket-granular.
+class WheelQueue {
+ public:
+  WheelQueue() = default;
+  WheelQueue(const WheelQueue&) = delete;
+  WheelQueue& operator=(const WheelQueue&) = delete;
+
+  /// Queue `payload` for time `at`. Entries at equal times pop in push
+  /// order. Pushing a time at or before the last popped entry is allowed;
+  /// it becomes immediately ready (TimerWheel clamps, so this only arises
+  /// for deliberately-stale pushes).
+  void push(Time at, u32 payload);
+
+  /// Earliest entry by (at, seq), or nullptr when empty. Non-const: may
+  /// advance the cursor and cascade buckets to surface the head.
+  [[nodiscard]] const WheelEntry* peek();
+
+  /// Pop the earliest entry into `out`; false when empty.
+  bool pop(WheelEntry& out);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Bucket re-distributions performed so far (cost visibility for bench).
+  [[nodiscard]] u64 cascades() const { return cascades_; }
+  /// Heap bytes held by buckets/ready/overflow (capacity, not size) — the
+  /// population worlds budget wheel memory per client.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  static constexpr u32 kTickBits = 20;  ///< 1 tick ~ 1.05 ms of sim time
+  static constexpr u32 kLevelBits = 8;
+  static constexpr u32 kSlots = 1u << kLevelBits;
+  static constexpr u32 kLevels = 4;
+  static constexpr u32 kWords = kSlots / 64;
+  /// Ticks covered by the wheel proper; beyond this, entries overflow.
+  static constexpr u64 kHorizon = 1ull << (kLevelBits * kLevels);
+  /// A drained bucket keeps at most this much capacity; larger buffers are
+  /// released so population-scale cohorts don't park memory wheel-wide.
+  static constexpr std::size_t kBucketKeepEntries = 64;
+
+  using Bitmap = std::array<u64, kWords>;
+
+  [[nodiscard]] static u64 tick_of(Time at) {
+    const i64 ns = at.ns();
+    return ns <= 0 ? 0 : static_cast<u64>(ns) >> kTickBits;
+  }
+
+  /// Later-than ordering on (at, seq); heap functions with this comparator
+  /// make ready_ a min-heap. seq is unique, so this is a total order and
+  /// the pop sequence is implementation-independent.
+  [[nodiscard]] static bool later(const WheelEntry& a, const WheelEntry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  /// First set bit at index >= from, or -1.
+  [[nodiscard]] static int scan_from(const Bitmap& bm, u32 from);
+
+  void place(const WheelEntry& e);
+  static void trim_drained(std::vector<WheelEntry>& bucket);
+  void cascade(u32 level, u32 pos);
+  void drain_level0(u32 pos);
+  void refill_from_overflow();
+  /// Move the cursor forward, cascading and draining, until the ready heap
+  /// holds the global minimum. Precondition: ready empty implies size_ > 0.
+  void advance_to_ready();
+
+  void ready_push(const WheelEntry& e);
+
+  u64 cur_ = 0;  ///< cursor tick; wheel buckets only hold ticks > cur_
+  u64 next_seq_ = 0;
+  std::size_t size_ = 0;
+  u64 cascades_ = 0;
+  std::array<Bitmap, kLevels> bitmap_{};
+  std::array<std::array<std::vector<WheelEntry>, kSlots>, kLevels> buckets_;
+  std::vector<WheelEntry> ready_;     ///< min-heap on (at, seq)
+  std::vector<WheelEntry> overflow_;  ///< deadlines beyond kHorizon ticks
+  u64 overflow_min_ = std::numeric_limits<u64>::max();  ///< min overflow tick
+  std::vector<WheelEntry> scratch_;   ///< cascade staging, reused
+};
+
+class TimerWheel;
+
+/// Cancellation handle for TimerWheel events; same semantics as
+/// EventHandle, including the eager destruction of the callback on cancel
+/// (captured resources are released immediately, not when the deadline's
+/// wheel entry eventually pops).
+class WheelHandle {
+ public:
+  WheelHandle() = default;
+
+  inline void cancel();
+  [[nodiscard]] inline bool valid() const;
+
+ private:
+  friend class TimerWheel;
+  WheelHandle(TimerWheel* wheel, u32 slot, u32 gen)
+      : wheel_(wheel), slot_(slot), gen_(gen) {}
+
+  TimerWheel* wheel_ = nullptr;
+  u32 slot_ = 0;
+  u32 gen_ = 0;
+};
+
+/// EventLoop-compatible loop façade over WheelQueue: same clamping, same
+/// run_until boundary semantics ("events at exactly `until` still run"),
+/// same generation-checked cancellation, same clock-advance-on-cancelled-
+/// pop behaviour. The property test in tests/sim/timer_wheel_test.cpp
+/// drives identical call streams through both and asserts identical firing
+/// order and clock positions.
+class TimerWheel {
+ public:
+  struct Stats {
+    u64 scheduled = 0;
+    u64 fired = 0;
+    u64 cancelled = 0;
+    u64 pending_peak = 0;
+  };
+
+  TimerWheel() = default;
+  ~TimerWheel() {
+    DNSTIME_COUNT_ADD("sim.wheel_scheduled", stats_.scheduled);
+    DNSTIME_COUNT_ADD("sim.wheel_fired", stats_.fired);
+    DNSTIME_COUNT_ADD("sim.wheel_cancelled", stats_.cancelled);
+    if (stats_.pending_peak != 0) {
+      DNSTIME_HIST("sim.wheel_pending_peak", stats_.pending_peak);
+    }
+  }
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to >= now).
+  WheelHandle schedule_at(Time at, EventFn fn) {
+    if (at < now_) at = now_;
+    const u32 slot = acquire_slot(std::move(fn));
+    queue_.push(at, slot);
+    stats_.scheduled++;
+    if (queue_.size() > stats_.pending_peak) {
+      stats_.pending_peak = queue_.size();
+    }
+    return WheelHandle{this, slot, slots_[slot].gen};
+  }
+
+  WheelHandle schedule_after(Duration d, EventFn fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Run events until the queue drains or `until` is reached. Events at
+  /// exactly `until` still run; the clock never advances past `until`.
+  void run_until(Time until) {
+    while (const WheelEntry* top = queue_.peek()) {
+      if (top->at > until) break;
+      step();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  void run_all() {
+    while (queue_.peek() != nullptr) step();
+  }
+
+  /// Queued events, including cancelled ones not yet popped.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class WheelHandle;
+
+  static constexpr u32 kNoSlot = std::numeric_limits<u32>::max();
+
+  struct Slot {
+    EventFn fn;
+    u32 gen = 0;
+    u32 next_free = kNoSlot;
+    bool live = false;
+    bool cancelled = false;
+  };
+
+  void step() {
+    WheelEntry e;
+    queue_.pop(e);
+    now_ = e.at;
+    const u32 slot = e.payload;
+    const bool cancelled = slots_[slot].cancelled;
+    EventFn fn = std::move(slots_[slot].fn);
+    release_slot(slot);
+    if (cancelled) {
+      stats_.cancelled++;
+      return;
+    }
+    stats_.fired++;
+    fn();
+  }
+
+  u32 acquire_slot(EventFn fn) {
+    u32 s;
+    if (free_head_ != kNoSlot) {
+      s = free_head_;
+      free_head_ = slots_[s].next_free;
+      slots_[s].fn = std::move(fn);
+    } else {
+      s = static_cast<u32>(slots_.size());
+      slots_.push_back(Slot{.fn = std::move(fn)});
+    }
+    slots_[s].live = true;
+    slots_[s].cancelled = false;
+    return s;
+  }
+
+  void release_slot(u32 s) {
+    slots_[s].gen++;
+    slots_[s].live = false;
+    slots_[s].next_free = free_head_;
+    free_head_ = s;
+  }
+
+  Time now_;
+  WheelQueue queue_;
+  std::vector<Slot> slots_;
+  u32 free_head_ = kNoSlot;
+  Stats stats_;
+};
+
+inline void WheelHandle::cancel() {
+  if (wheel_ == nullptr) return;
+  auto& s = wheel_->slots_[slot_];
+  if (s.live && s.gen == gen_) {
+    s.cancelled = true;
+    s.fn = EventFn{};  // release captured resources now, as EventHandle does
+  }
+}
+
+inline bool WheelHandle::valid() const {
+  if (wheel_ == nullptr) return false;
+  const auto& s = wheel_->slots_[slot_];
+  return s.live && s.gen == gen_ && !s.cancelled;
+}
+
+}  // namespace dnstime::sim

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -235,6 +237,41 @@ TEST(CampaignForensics, ProgressStreamRecordsEveryTrial) {
   EXPECT_NE(lines.back().find("\"campaign_done\":6,\"campaign_total\":6"),
             std::string::npos)
       << lines.back();
+}
+
+TEST(CampaignForensics, ProgressStreamNeverRendersConfidentZeroInterval) {
+  // A scenario that fails every trial: the streamed Wilson upper bound
+  // must stay strictly positive on every line (0/n is evidence, not
+  // certainty), so no consumer — campaign_watch included — can render a
+  // confident [0, 0] interval mid-run.
+  TempDir dir("progress-zero");
+  const std::string progress_path =
+      (fs::path(dir.path) / "progress.jsonl").string();
+  ScenarioSpec spec;
+  spec.name = "forensic/never";
+  spec.attack = AttackKind::kCustom;
+  spec.trial_fn = [](const ScenarioSpec&, const TrialContext&) {
+    return TrialResult{};  // success = false
+  };
+  CampaignConfig config{.seed = 3, .trials = 4, .threads = 1};
+  config.progress_path = progress_path;
+  (void)CampaignRunner(config).run({spec});
+
+  std::ifstream in(progress_path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line); ++lines) {
+    const char* key = "\"wilson_high\":";
+    const std::size_t pos = line.find(key);
+    ASSERT_NE(pos, std::string::npos) << line;
+    char* end = nullptr;
+    const char* start = line.c_str() + pos + std::strlen(key);
+    const double high = std::strtod(start, &end);
+    ASSERT_NE(end, start) << "wilson_high must be a number: " << line;
+    EXPECT_GT(high, 0.0) << line;
+    EXPECT_LE(high, 1.0) << line;
+  }
+  EXPECT_EQ(lines, 4u);
 }
 
 TEST(CampaignForensics, UnwritableProgressPathFailsBeforeAnyTrialRuns) {

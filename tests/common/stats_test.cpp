@@ -200,5 +200,35 @@ TEST(KsTest, DegenerateContracts) {
   EXPECT_LT(disjoint.p, 1e-3);
 }
 
+TEST(WilsonInterval, ZeroTrialsIsTheVacuousInterval) {
+  // "No information yet" must render as [0, 1], never as a confident
+  // [0, 0]: a progress display polling before the first trial completes
+  // would otherwise show "certainly 0% success". Both the explicit return
+  // and the struct defaults pin this.
+  const WilsonInterval vacuous = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(vacuous.low, 0.0);
+  EXPECT_DOUBLE_EQ(vacuous.high, 1.0);
+  const WilsonInterval defaults{};
+  EXPECT_DOUBLE_EQ(defaults.low, 0.0);
+  EXPECT_DOUBLE_EQ(defaults.high, 1.0);
+  // Nonsense input (successes > trials) degrades to vacuous too.
+  const WilsonInterval nonsense = wilson_interval(5, 2);
+  EXPECT_DOUBLE_EQ(nonsense.low, 0.0);
+  EXPECT_DOUBLE_EQ(nonsense.high, 1.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesIsNeverConfidentlyZero) {
+  // 0/n is real information, but its upper bound must stay strictly
+  // positive — the CI shrinks toward zero with n without ever touching it.
+  double prev_high = 1.0;
+  for (u64 n : {1ull, 4ull, 16ull, 256ull, 65536ull}) {
+    const WilsonInterval w = wilson_interval(0, n);
+    EXPECT_DOUBLE_EQ(w.low, 0.0);
+    EXPECT_GT(w.high, 0.0) << "n=" << n;
+    EXPECT_LT(w.high, prev_high) << "n=" << n;
+    prev_high = w.high;
+  }
+}
+
 }  // namespace
 }  // namespace dnstime

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/buffer.h"
+
 namespace dnstime::sim {
 namespace {
 
@@ -201,6 +203,28 @@ TEST(EventLoop, MoveOnlyCallbacksAreSupported) {
   loop.run_all();
   EXPECT_EQ(out, 42);
   EXPECT_TRUE(big_ran);
+}
+
+TEST(EventLoop, CancelDestroysCallbackEagerly) {
+  // Regression: cancel() used to only flag the slot, leaving the SmallFn —
+  // and everything it captured — alive until the timestamp popped. A
+  // cancelled far-future timer (say a 6-hour attack deadline holding a
+  // PacketBuf) would pin its pool block for simulated hours. cancel() must
+  // release captured resources immediately.
+  const u64 base = BufferPool::local().outstanding();
+  EventLoop loop;
+  PacketBuf buf{1, 2, 3, 4};
+  EXPECT_EQ(BufferPool::local().outstanding(), base + 1);
+  EventHandle h = loop.schedule_after(Duration::hours(6),
+                                      [b = std::move(buf)] { (void)b; });
+  EXPECT_EQ(BufferPool::local().outstanding(), base + 1);
+  h.cancel();
+  EXPECT_EQ(BufferPool::local().outstanding(), base)
+      << "cancelled slot must not keep its capture until the pop";
+  // The cancelled node still pops (advancing the clock) without firing.
+  loop.run_all();
+  EXPECT_EQ(loop.now().to_seconds(), Duration::hours(6).to_seconds());
+  EXPECT_EQ(loop.stats().cancelled, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// Duration/Time arithmetic pins. The interesting part is the edge of the
+// i64 nanosecond range: constructors and operators must saturate there
+// (documented in sim/time.h) instead of hitting signed-overflow UB — a
+// Duration::hours() on a large count or `far_future + d` in a scheduler
+// must stay well-defined.
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dnstime::sim {
+namespace {
+
+constexpr i64 kMaxNs = std::numeric_limits<i64>::max();
+constexpr i64 kMinNs = std::numeric_limits<i64>::min();
+
+TEST(Duration, InRangeConstructionIsExact) {
+  EXPECT_EQ(Duration::nanos(1).ns(), 1);
+  EXPECT_EQ(Duration::micros(2).ns(), 2'000);
+  EXPECT_EQ(Duration::millis(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::seconds(4).ns(), 4'000'000'000LL);
+  EXPECT_EQ(Duration::minutes(5).ns(), 300'000'000'000LL);
+  EXPECT_EQ(Duration::hours(6).ns(), 21'600'000'000'000LL);
+  EXPECT_EQ(Duration::seconds(-7).ns(), -7'000'000'000LL);
+}
+
+TEST(Duration, ConstructorsSaturateInsteadOfOverflowing) {
+  // i64 max nanoseconds is ~292 years; each factory saturates once its
+  // unit count crosses that.
+  EXPECT_EQ(Duration::micros(kMaxNs).ns(), kMaxNs);
+  EXPECT_EQ(Duration::millis(kMaxNs).ns(), kMaxNs);
+  EXPECT_EQ(Duration::seconds(kMaxNs).ns(), kMaxNs);
+  EXPECT_EQ(Duration::minutes(kMaxNs).ns(), kMaxNs);
+  EXPECT_EQ(Duration::hours(kMaxNs).ns(), kMaxNs);
+  EXPECT_EQ(Duration::hours(4'000'000).ns(), kMaxNs);  // first out-of-range
+  EXPECT_EQ(Duration::micros(kMinNs).ns(), kMinNs);
+  EXPECT_EQ(Duration::seconds(kMinNs).ns(), kMinNs);
+  EXPECT_EQ(Duration::hours(-4'000'000).ns(), kMinNs);
+}
+
+TEST(Duration, ArithmeticSaturates) {
+  const Duration big = Duration::nanos(kMaxNs);
+  const Duration small = Duration::nanos(kMinNs);
+  EXPECT_EQ((big + Duration::seconds(1)).ns(), kMaxNs);
+  EXPECT_EQ((small - Duration::seconds(1)).ns(), kMinNs);
+  EXPECT_EQ((big * 2).ns(), kMaxNs);
+  EXPECT_EQ((small * 2).ns(), kMinNs);
+  EXPECT_EQ((big * -2).ns(), kMinNs);
+  // The one overflowing division: i64 min / -1.
+  EXPECT_EQ((small / -1).ns(), kMaxNs);
+  // In-range arithmetic is untouched.
+  EXPECT_EQ((Duration::seconds(3) + Duration::seconds(4)).ns(),
+            Duration::seconds(7).ns());
+  EXPECT_EQ((Duration::seconds(3) - Duration::seconds(4)).ns(),
+            Duration::seconds(-1).ns());
+  EXPECT_EQ((Duration::seconds(3) * 4).ns(), Duration::seconds(12).ns());
+  EXPECT_EQ((Duration::seconds(12) / 4).ns(), Duration::seconds(3).ns());
+}
+
+TEST(Duration, FromSecondsFloatClampsNonFinite) {
+  EXPECT_EQ(Duration::from_seconds_f(0.5).ns(), 500'000'000LL);
+  EXPECT_EQ(Duration::from_seconds_f(-0.5).ns(), -500'000'000LL);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Duration::from_seconds_f(nan).ns(), 0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Duration::from_seconds_f(inf).ns(), kMaxNs);
+  EXPECT_EQ(Duration::from_seconds_f(-inf).ns(), kMinNs);
+  EXPECT_EQ(Duration::from_seconds_f(1e300).ns(), kMaxNs);
+  EXPECT_EQ(Duration::from_seconds_f(-1e300).ns(), kMinNs);
+}
+
+TEST(Time, ArithmeticSaturates) {
+  const Time far = Time::from_ns(kMaxNs);
+  EXPECT_EQ((far + Duration::hours(1)).ns(), kMaxNs);
+  EXPECT_EQ((Time::from_ns(kMinNs) - Duration::hours(1)).ns(), kMinNs);
+  EXPECT_EQ((far - Time::from_ns(kMinNs)).ns(), kMaxNs);
+  // In-range positions are exact.
+  const Time t = Time::from_ns(1'000);
+  EXPECT_EQ((t + Duration::nanos(24)).ns(), 1'024);
+  EXPECT_EQ((t - Duration::nanos(24)).ns(), 976);
+  EXPECT_EQ((t - Time::from_ns(400)).ns(), 600);
+}
+
+}  // namespace
+}  // namespace dnstime::sim

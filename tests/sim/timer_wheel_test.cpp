@@ -1,0 +1,267 @@
+// TimerWheel vs EventLoop: the wheel's contract is "same observable
+// semantics as the loop, different complexity" — so the loop is the test
+// oracle. The property test drives identical schedule/cancel/run streams
+// through both and asserts identical firing order and clock positions;
+// the directed tests pin the wheel-specific mechanics (cascades, the
+// overflow list, FIFO ties across cascade paths, eager cancel).
+#include "sim/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+
+namespace dnstime::sim {
+namespace {
+
+TEST(WheelQueue, PopsInTimeThenInsertionOrder) {
+  WheelQueue q;
+  q.push(Time::from_ns(Duration::seconds(5).ns()), 50);
+  q.push(Time::from_ns(Duration::seconds(1).ns()), 10);
+  q.push(Time::from_ns(Duration::seconds(5).ns()), 51);  // tie with 50
+  q.push(Time::from_ns(Duration::seconds(3).ns()), 30);
+  std::vector<u32> order;
+  WheelEntry e;
+  while (q.pop(e)) order.push_back(e.payload);
+  EXPECT_EQ(order, (std::vector<u32>{10, 30, 50, 51}));
+}
+
+TEST(WheelQueue, TiesStayFifoAcrossCascadePaths) {
+  // Entries at the same instant arrive via different placements: some are
+  // pushed when the deadline is level-2-far, some after the cursor has
+  // moved close (level 0). FIFO order must survive both routes.
+  WheelQueue q;
+  const Time target = Time::from_ns(Duration::minutes(30).ns());
+  q.push(target, 0);  // placed far (high level, will cascade)
+  q.push(Time::from_ns(Duration::minutes(29).ns()), 99);
+  WheelEntry e;
+  ASSERT_TRUE(q.pop(e));  // advances the cursor near the target
+  EXPECT_EQ(e.payload, 99u);
+  q.push(target, 1);  // placed near (low level)
+  q.push(target, 2);
+  std::vector<u32> order;
+  while (q.pop(e)) order.push_back(e.payload);
+  EXPECT_EQ(order, (std::vector<u32>{0, 1, 2}));
+}
+
+TEST(WheelQueue, SpreadDeadlinesCascade) {
+  WheelQueue q;
+  for (u32 i = 0; i < 64; ++i) {
+    q.push(Time::from_ns(Duration::minutes(1 + i * 7).ns()), i);
+  }
+  u32 prev = 0;
+  WheelEntry e;
+  u32 popped = 0;
+  while (q.pop(e)) {
+    if (popped++ > 0) EXPECT_GT(e.payload, prev);
+    prev = e.payload;
+  }
+  EXPECT_EQ(popped, 64u);
+  EXPECT_GT(q.cascades(), 0u) << "minute-scale deadlines must traverse "
+                                 "upper levels, not land on level 0";
+}
+
+TEST(WheelQueue, OverflowBeyondHorizonFiresInOrder) {
+  // The wheel horizon is 2^32 ticks of 2^20 ns ~ 52 days; deadlines past
+  // it sit in the overflow list and must still interleave correctly.
+  WheelQueue q;
+  q.push(Time::from_ns(Duration::hours(24 * 80).ns()), 2);   // overflow
+  q.push(Time::from_ns(Duration::hours(24 * 100).ns()), 3);  // overflow
+  q.push(Time::from_ns(Duration::hours(24 * 10).ns()), 1);   // in wheel
+  q.push(Time::from_ns(Duration::seconds(1).ns()), 0);
+  std::vector<u32> order;
+  WheelEntry e;
+  while (q.pop(e)) order.push_back(e.payload);
+  EXPECT_EQ(order, (std::vector<u32>{0, 1, 2, 3}));
+}
+
+TEST(WheelQueue, LatePushLandsBeforeEarlierOverflowEntry) {
+  // Regression for the overflow refill rule: a push that lands *between*
+  // the cursor and an already-overflowed deadline must pop first, even
+  // though the overflow entry was pushed earlier.
+  WheelQueue q;
+  q.push(Time::from_ns(Duration::hours(24 * 60).ns()), 7);  // overflow
+  q.push(Time::from_ns(Duration::hours(24 * 55).ns()), 6);  // also overflow
+  q.push(Time::from_ns(Duration::hours(24 * 3).ns()), 5);   // in wheel
+  std::vector<u32> order;
+  WheelEntry e;
+  while (q.pop(e)) order.push_back(e.payload);
+  EXPECT_EQ(order, (std::vector<u32>{5, 6, 7}));
+}
+
+TEST(WheelQueue, StalePushBecomesImmediatelyReady) {
+  WheelQueue q;
+  q.push(Time::from_ns(Duration::seconds(10).ns()), 1);
+  WheelEntry e;
+  ASSERT_TRUE(q.pop(e));
+  q.push(Time::from_ns(Duration::seconds(2).ns()), 2);  // before last pop
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.payload, 2u);
+}
+
+TEST(TimerWheel, RunUntilBoundarySemanticsMatchEventLoop) {
+  TimerWheel wheel;
+  int ran = 0;
+  wheel.schedule_after(Duration::seconds(1), [&] { ran++; });
+  wheel.schedule_after(Duration::seconds(2), [&] { ran++; });
+  wheel.schedule_after(Duration::seconds(5), [&] { ran++; });
+  wheel.run_until(Time::from_ns(Duration::seconds(2).ns()));
+  EXPECT_EQ(ran, 2) << "events at exactly `until` still run";
+  EXPECT_EQ(wheel.now().to_seconds(), 2.0);
+  wheel.run_until(Time::from_ns(Duration::seconds(3).ns()));
+  EXPECT_EQ(wheel.now().to_seconds(), 3.0)
+      << "clock advances to the boundary even with no event to run";
+  wheel.run_all();
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(wheel.now().to_seconds(), 5.0);
+}
+
+TEST(TimerWheel, SchedulingInThePastClampsToNow) {
+  TimerWheel wheel;
+  wheel.schedule_after(Duration::seconds(4), [] {});
+  wheel.run_all();
+  Time fired_at;
+  wheel.schedule_at(Time::from_ns(Duration::seconds(1).ns()),
+                    [&] { fired_at = wheel.now(); });
+  wheel.run_all();
+  EXPECT_EQ(fired_at.to_seconds(), 4.0);
+}
+
+TEST(TimerWheel, CancelSkipsCallbackButAdvancesClock) {
+  TimerWheel wheel;
+  int ran = 0;
+  WheelHandle h =
+      wheel.schedule_after(Duration::seconds(3), [&] { ran++; });
+  wheel.schedule_after(Duration::seconds(5), [&] { ran++; });
+  EXPECT_TRUE(h.valid());
+  h.cancel();
+  EXPECT_FALSE(h.valid());
+  wheel.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(wheel.stats().cancelled, 1u);
+  EXPECT_EQ(wheel.now().to_seconds(), 5.0);
+}
+
+TEST(TimerWheel, CancelDestroysCallbackEagerly) {
+  // A cancelled far-future timer must release its captured resources at
+  // cancel time, not when the wheel entry eventually pops — same contract
+  // (and same regression) as EventHandle::cancel.
+  const u64 base = BufferPool::local().stats().outstanding;
+  TimerWheel wheel;
+  PacketBuf buf{1, 2, 3, 4};
+  EXPECT_EQ(BufferPool::local().stats().outstanding, base + 1);
+  WheelHandle h = wheel.schedule_after(Duration::hours(24 * 365),
+                                       [b = std::move(buf)] { (void)b; });
+  EXPECT_EQ(BufferPool::local().stats().outstanding, base + 1);
+  h.cancel();
+  EXPECT_EQ(BufferPool::local().stats().outstanding, base)
+      << "cancel must destroy the callback, not just flag the slot";
+}
+
+// --- the oracle property test ---------------------------------------------
+
+TEST(TimerWheelProperty, MatchesEventLoopOnRandomisedStreams) {
+  for (u64 seed : {1ull, 7ull, 1234ull, 0x5eedull}) {
+    Rng rng(seed);
+    EventLoop oracle;
+    TimerWheel wheel;
+    std::vector<int> fired_oracle;
+    std::vector<int> fired_wheel;
+    std::vector<EventHandle> oracle_handles;
+    std::vector<WheelHandle> wheel_handles;
+    int next_id = 0;
+
+    for (int round = 0; round < 40; ++round) {
+      // Schedule a batch at deltas spanning every placement path: ready
+      // (0), level 0 (sub-ms), mid levels (ms..min), top level (hours),
+      // overflow (months) — with deliberate duplicates for FIFO ties.
+      const u32 batch = static_cast<u32>(rng.uniform(1, 24));
+      for (u32 b = 0; b < batch; ++b) {
+        i64 delta_ns = 0;
+        switch (rng.uniform(0, 5)) {
+          case 0: delta_ns = 0; break;
+          case 1: delta_ns = static_cast<i64>(rng.uniform(1, 1'000'000)); break;
+          case 2:
+            delta_ns = Duration::millis(
+                           static_cast<i64>(rng.uniform(1, 60'000))).ns();
+            break;
+          case 3:
+            delta_ns =
+                Duration::seconds(static_cast<i64>(rng.uniform(60, 7'200)))
+                    .ns();
+            break;
+          case 4:
+            delta_ns =
+                Duration::hours(static_cast<i64>(rng.uniform(1, 24 * 90)))
+                    .ns();
+            break;
+          default:
+            // Exact tie with the previous event when there is one.
+            delta_ns = Duration::seconds(5).ns();
+            break;
+        }
+        const Time at = oracle.now() + Duration::nanos(delta_ns);
+        const int id = next_id++;
+        oracle_handles.push_back(
+            oracle.schedule_at(at, [&fired_oracle, id] {
+              fired_oracle.push_back(id);
+            }));
+        wheel_handles.push_back(wheel.schedule_at(at, [&fired_wheel, id] {
+          fired_wheel.push_back(id);
+        }));
+      }
+      // Cancel a random subset — including handles that already fired,
+      // which must be generation-checked no-ops in both.
+      for (std::size_t k = 0; k < oracle_handles.size(); ++k) {
+        if (rng.chance(0.15)) {
+          oracle_handles[k].cancel();
+          wheel_handles[k].cancel();
+        }
+      }
+      // Advance both to the same boundary.
+      const Duration adv =
+          Duration::millis(static_cast<i64>(rng.uniform(1, 600'000)));
+      const Time until = oracle.now() + adv;
+      oracle.run_until(until);
+      wheel.run_until(until);
+      ASSERT_EQ(oracle.now().ns(), wheel.now().ns()) << "seed " << seed;
+      ASSERT_EQ(fired_oracle, fired_wheel) << "seed " << seed;
+    }
+
+    oracle.run_all();
+    wheel.run_all();
+    ASSERT_EQ(fired_oracle, fired_wheel) << "seed " << seed;
+    ASSERT_EQ(oracle.now().ns(), wheel.now().ns()) << "seed " << seed;
+    ASSERT_EQ(oracle.pending(), 0u);
+    ASSERT_EQ(wheel.pending(), 0u);
+  }
+}
+
+TEST(TimerWheelProperty, IdenticalStreamsGiveIdenticalStats) {
+  // Determinism of the wheel itself: the same call stream twice gives the
+  // same firing order, the same cascade count and the same stats.
+  auto run = [] {
+    TimerWheel wheel;
+    Rng rng(99);
+    std::vector<int> fired;
+    for (int i = 0; i < 500; ++i) {
+      const Duration d =
+          Duration::millis(static_cast<i64>(rng.uniform(0, 500'000)));
+      wheel.schedule_after(d, [&fired, i] { fired.push_back(i); });
+    }
+    wheel.run_all();
+    return std::pair<std::vector<int>, u64>(std::move(fired),
+                                            wheel.stats().fired);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace dnstime::sim

@@ -32,8 +32,11 @@ struct ScenarioRow {
   unsigned long long trials = 0;
   unsigned long long successes = 0;
   double rate = 0.0;
+  // Default CI is the vacuous [0, 1] ("no information"), matching
+  // wilson_interval(0, 0): a row must never render a confident [0, 0]
+  // before its wilson fields have actually been parsed.
   double wilson_low = 0.0;
-  double wilson_high = 0.0;
+  double wilson_high = 1.0;
 };
 
 struct WatchState {
@@ -47,12 +50,17 @@ struct WatchState {
 };
 
 /// Extract `"key":<number>` from a progress line. Returns false when the
-/// key is absent (malformed or foreign line).
+/// key is absent or its value is not a number (e.g. `null` for a non-finite
+/// double) — strtod parsing nothing must not turn into a confident 0.
 bool find_number(const std::string& line, const char* key, double& out) {
   const std::string needle = std::string("\"") + key + "\":";
   const std::size_t pos = line.find(needle);
   if (pos == std::string::npos) return false;
-  out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  out = v;
   return true;
 }
 
