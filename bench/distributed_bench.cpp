@@ -1,0 +1,207 @@
+// Distributed campaign scale-out benchmark: the same CPU-bound campaign
+// executed at 1, 2, 4 and 8 worker processes through the dist coordinator
+// (campaign/dist/coordinator.h), min-of-N wall-clock per configuration.
+//
+// The workload is 4 synthetic scenarios of deterministic RNG-mixing
+// trials — pure functions of the trial seed, rebuilt identically in every
+// process, so any worker may execute any trial (the property the lease
+// protocol relies on). The 1-process configuration is the journaled
+// single-thread CampaignRunner, i.e. exactly the baseline the byte-
+// identity contract compares against; every multi-process report is
+// asserted equal to it before its timing is accepted, so a run that broke
+// determinism can never post a throughput number.
+//
+// Results go to stdout and BENCH_distributed.json (CI uploads the JSON).
+// Speedup is wall-clock relative to the 1-process run; on a single
+// hardware core the expected curve is flat (~1.0x) and the bench is then
+// measuring coordination overhead, which is the honest number to track
+// there.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "campaign/cli.h"
+#include "campaign/dist/coordinator.h"
+#include "campaign/dist/worker.h"
+#include "campaign/runner.h"
+#include "common/rng.h"
+
+namespace dnstime::bench {
+namespace {
+
+/// Per-trial CPU work: enough mixing that a trial costs milliseconds (so
+/// process spawn/lease overhead amortizes the way a real campaign's does)
+/// but small enough that the whole 4-point sweep stays under a minute.
+constexpr u64 kWorkIters = 400'000;
+constexpr u32 kScenarios = 4;
+
+std::vector<campaign::ScenarioSpec> build_scenarios() {
+  std::vector<campaign::ScenarioSpec> scenarios;
+  for (u32 s = 0; s < kScenarios; ++s) {
+    campaign::ScenarioSpec spec;
+    spec.name = "distbench/s" + std::to_string(s);
+    spec.description = "deterministic RNG-mixing CPU load";
+    spec.attack = campaign::AttackKind::kCustom;
+    spec.trial_fn = [](const campaign::ScenarioSpec&,
+                       const campaign::TrialContext& ctx) {
+      Rng rng{ctx.seed};
+      double acc = 0.0;
+      for (u64 i = 0; i < kWorkIters; ++i) acc += rng.uniform01();
+      campaign::TrialResult r;
+      r.metric = acc / static_cast<double>(kWorkIters);
+      r.success = r.metric > 0.49 && r.metric < 0.51;
+      return r;
+    };
+    scenarios.push_back(std::move(spec));
+  }
+  return scenarios;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+}  // namespace dnstime::bench
+
+int main(int argc, char** argv) {
+  using namespace dnstime;
+  using namespace dnstime::bench;
+
+  // Re-exec'd worker mode: the coordinator appended --dist-worker plus the
+  // pipe fds to our respawn_args; parse_cli understands that whole line.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dist-worker") == 0) {
+      campaign::CliOptions opts =
+          campaign::parse_cli(argc, argv, campaign::CliOptions{});
+      if (!opts.ok) return campaign::dist::kWorkerBadFlags;
+      return campaign::dist::run_worker(opts.config, build_scenarios(),
+                                        opts.dist);
+    }
+  }
+
+  u32 trials = 50;
+  u64 seed = 777;
+  int repeat = 3;
+  std::string out_path = "BENCH_distributed.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) repeat = 1;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials N] [--seed S] [--repeat N] "
+                   "[--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  header("distributed campaign scale-out: worker processes vs wall clock");
+
+  const auto scenarios = build_scenarios();
+  const std::string journal_dir =
+      (std::filesystem::temp_directory_path() / "dnstime_bench_dist")
+          .string();
+
+  campaign::CampaignConfig config;
+  config.seed = seed;
+  config.trials = trials;
+  config.threads = 1;
+  config.journal_dir = journal_dir;
+
+  const u64 total = u64{kScenarios} * trials;
+  const u32 procs[] = {1, 2, 4, 8};
+  struct ConfigResult {
+    u32 procs = 0;
+    double best_s = 0.0;
+  };
+  std::vector<ConfigResult> results;
+  std::string baseline_json;
+
+  for (const u32 p : procs) {
+    campaign::dist::DistOptions dist;
+    dist.workers = p;
+    dist.respawn_args = {argv[0],     "--trials",
+                         std::to_string(trials), "--seed",
+                         std::to_string(seed),   "--journal",
+                         journal_dir};
+    double best = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+      std::filesystem::remove_all(journal_dir);
+      const auto start = std::chrono::steady_clock::now();
+      campaign::CampaignReport report;
+      try {
+        report = (p == 1)
+                     ? campaign::CampaignRunner(config).run(scenarios)
+                     : campaign::dist::run_coordinator(config, scenarios,
+                                                       dist);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%u-process run failed: %s\n", p, e.what());
+        return 1;
+      }
+      const double s = seconds_since(start);
+      const std::string json = report.to_json(/*include_trials=*/false);
+      if (baseline_json.empty()) {
+        baseline_json = json;
+      } else if (json != baseline_json) {
+        // A speedup from a wrong answer is not a speedup.
+        std::fprintf(stderr,
+                     "%u-process report differs from the 1-process "
+                     "baseline - determinism broken, refusing to report\n",
+                     p);
+        return 1;
+      }
+      if (r == 0 || s < best) best = s;
+    }
+    results.push_back({p, best});
+    std::printf("  %u process(es): %7.3f s  (%.0f trials/s)\n", p, best,
+                static_cast<double>(total) / best);
+  }
+  std::filesystem::remove_all(journal_dir);
+
+  const double base_s = results[0].best_s;
+  std::printf("\n  %-10s %10s %14s %9s\n", "procs", "best s", "trials/s",
+              "speedup");
+  for (const ConfigResult& r : results) {
+    std::printf("  %-10u %10.3f %14.0f %8.2fx\n", r.procs, r.best_s,
+                static_cast<double>(total) / r.best_s, base_s / r.best_s);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"distributed\",\"scenarios\":%u,"
+               "\"trials_per_scenario\":%u,\"total_trials\":%llu,"
+               "\"work_iters_per_trial\":%llu,\"configs\":[",
+               kScenarios, trials, static_cast<unsigned long long>(total),
+               static_cast<unsigned long long>(kWorkIters));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(f,
+                 "%s{\"procs\":%u,\"best_s\":%.4f,\"trials_per_sec\":%.1f,"
+                 "\"speedup\":%.3f}",
+                 i ? "," : "", r.procs, r.best_s,
+                 static_cast<double>(total) / r.best_s, base_s / r.best_s);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -16,6 +16,8 @@
 #include "analysis/probability.h"
 #include "bench_util.h"
 #include "campaign/cli.h"
+#include "campaign/dist/coordinator.h"
+#include "campaign/dist/worker.h"
 #include "campaign/runner.h"
 
 namespace {
@@ -54,6 +56,16 @@ int main(int argc, char** argv) {
   campaign::CliOptions opts = campaign::parse_cli(argc, argv, defaults);
   if (!opts.ok) return 2;
 
+  // The scenario list is rebuilt identically in every process (pure
+  // function of table_iii()), so leased workers journal the same campaign.
+  auto rows = analysis::table_iii();
+  std::vector<campaign::ScenarioSpec> scenarios;
+  scenarios.reserve(rows.size());
+  for (const auto& row : rows) scenarios.push_back(row_scenario(row));
+  if (opts.dist.worker_mode) {
+    return campaign::dist::run_worker(opts.config, scenarios, opts.dist);
+  }
+
   bench::header(
       "Table III - P(client vulnerable) by association count m, p_rate=38%");
 
@@ -63,14 +75,14 @@ int main(int argc, char** argv) {
   const double paper_p2[] = {0.380, 0.144, 0.324, 0.157, 0.284,
                              0.153, 0.078, 0.039, 0.018};
 
-  auto rows = analysis::table_iii();
-  std::vector<campaign::ScenarioSpec> scenarios;
-  scenarios.reserve(rows.size());
-  for (const auto& row : rows) scenarios.push_back(row_scenario(row));
-  campaign::CampaignRunner runner(opts.config);
   campaign::CampaignReport report;
   try {
-    report = runner.run(scenarios);
+    if (opts.dist.workers >= 2) {
+      report = campaign::dist::run_coordinator(opts.config, scenarios,
+                                               opts.dist);
+    } else {
+      report = campaign::CampaignRunner(opts.config).run(scenarios);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;

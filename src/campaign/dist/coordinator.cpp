@@ -1,0 +1,469 @@
+#include "campaign/dist/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "campaign/dist/lease.h"
+#include "campaign/dist/worker.h"
+#include "campaign/store/journal.h"
+#include "campaign/store/journal_reader.h"
+#include "obs/json_util.h"
+
+namespace dnstime::campaign::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The coordinator's view of one worker process.
+struct WorkerProc {
+  pid_t pid = -1;
+  int rfd = -1;  ///< worker's DONE stream
+  int wfd = -1;  ///< control messages to the worker
+  std::string inbuf;
+  bool alive = false;
+  bool reaped = false;
+  bool finned = false;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Resolves the running executable for worker re-exec. /proc/self/exe is
+/// authoritative on Linux; argv[0] is the portable fallback.
+std::string self_exe(const std::string& argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return argv0;
+}
+
+void spawn_worker(const std::string& exe,
+                  const std::vector<std::string>& base_args, u32 worker_id,
+                  WorkerProc& w) {
+  int to_worker[2];    // coordinator writes, worker reads
+  int from_worker[2];  // worker writes, coordinator reads
+  if (::pipe(to_worker) != 0 || ::pipe(from_worker) != 0) {
+    throw std::runtime_error(std::string("pipe failed: ") +
+                             std::strerror(errno));
+  }
+
+  std::vector<std::string> args = base_args;
+  args.push_back("--dist-worker");
+  args.push_back("--dist-fd-in");
+  args.push_back(std::to_string(to_worker[0]));
+  args.push_back("--dist-fd-out");
+  args.push_back(std::to_string(from_worker[1]));
+  args.push_back("--dist-worker-id");
+  args.push_back(std::to_string(worker_id));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: drop the coordinator-side ends, keep our own (their fd
+    // numbers are what the flags above name), exec the same binary.
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "dist worker exec '%s' failed: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  // Parent: close the child-side ends now — EOF detection on rfd depends
+  // on no other process holding the write end — and keep the coordinator
+  // ends out of later children via CLOEXEC.
+  ::close(to_worker[0]);
+  ::close(from_worker[1]);
+  (void)::fcntl(to_worker[1], F_SETFD, FD_CLOEXEC);
+  (void)::fcntl(from_worker[0], F_SETFD, FD_CLOEXEC);
+  // Non-blocking reads: the event loop drains "until EAGAIN", which a
+  // blocking fd would turn into a stall whenever a worker's burst landed
+  // on an exact buffer boundary.
+  (void)::fcntl(from_worker[0], F_SETFL, O_NONBLOCK);
+  w.pid = pid;
+  w.wfd = to_worker[1];
+  w.rfd = from_worker[0];
+  w.alive = true;
+}
+
+}  // namespace
+
+CampaignReport run_coordinator(const CampaignConfig& config,
+                               const std::vector<ScenarioSpec>& scenarios,
+                               const DistOptions& opt) {
+  if (config.journal_dir.empty()) {
+    throw std::invalid_argument(
+        "distributed campaigns require a journal directory (--journal)");
+  }
+  if (opt.workers < 2 || opt.respawn_args.empty()) {
+    throw std::invalid_argument("run_coordinator needs --workers >= 2");
+  }
+  // A broken worker pipe must come back as a write error, not kill us.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const u32 trials = config.trials;
+  const std::string& dir = config.journal_dir;
+  const u64 total = static_cast<u64>(scenarios.size()) * trials;
+  const store::JournalMeta meta =
+      store::JournalMeta::describe(config.seed, trials, scenarios);
+  {
+    // Same up-front identity guard as CampaignRunner::run_journaled:
+    // records are keyed by scenario-name hash, so collisions must fail
+    // before any process journals anything.
+    std::unordered_map<u64, const std::string*> names;
+    names.reserve(meta.scenarios.size());
+    for (const store::JournalMeta::Scenario& s : meta.scenarios) {
+      auto [it, inserted] = names.emplace(store::fnv1a(s.name), &s.name);
+      if (!inserted) {
+        throw std::invalid_argument(
+            "cannot journal campaign: scenario name '" + s.name +
+            (*it->second == s.name
+                 ? "' is duplicated"
+                 : "' hash-collides with '" + *it->second + "'"));
+      }
+    }
+  }
+  fs::create_directories(dir);
+
+  store::JournalScan scan = store::scan_journal(dir);
+  if (!scan.shards.empty() && !config.resume) {
+    throw std::runtime_error(
+        "journal directory '" + dir +
+        "' already contains shards; pass resume (--resume) to continue "
+        "that campaign or point --journal at a fresh directory");
+  }
+  u32 next_shard_id = 0;
+  for (const store::ShardState& st : scan.shards) {
+    next_shard_id = std::max(next_shard_id, st.shard_id + 1);
+  }
+  if (config.resume && scan.found) {
+    if (scan.meta.campaign_seed != meta.campaign_seed) {
+      throw std::runtime_error(
+          "cannot resume: journal '" + dir + "' was written with seed " +
+          std::to_string(scan.meta.campaign_seed) + ", this campaign uses " +
+          std::to_string(meta.campaign_seed));
+    }
+    if (scan.meta.trials_per_scenario != meta.trials_per_scenario) {
+      throw std::runtime_error(
+          "cannot resume: journal '" + dir + "' ran " +
+          std::to_string(scan.meta.trials_per_scenario) +
+          " trials/scenario, this campaign runs " +
+          std::to_string(meta.trials_per_scenario));
+    }
+    if (scan.meta.fingerprint() != meta.fingerprint()) {
+      throw std::runtime_error("cannot resume: journal '" + dir +
+                               "' describes a different scenario set");
+    }
+  }
+  if (config.resume) store::truncate_torn_tails(scan);
+
+  LeaseBook book(store::pending_ranges(scan, scenarios.size(), trials), total,
+                 opt.workers, next_shard_id);
+
+  // Coordinator-side fleet progress stream (campaign-level lines only; the
+  // per-scenario detail comes from the workers' own files in the same
+  // directory). Wall time here feeds nothing but this stream.
+  std::FILE* progress_file = nullptr;
+  if (!config.progress_path.empty()) {
+    fs::create_directories(config.progress_path);
+    const std::string path = config.progress_path + "/coordinator.jsonl";
+    progress_file = std::fopen(path.c_str(), "wb");
+    if (progress_file == nullptr) {
+      throw std::runtime_error("cannot open progress file '" + path +
+                               "' for writing");
+    }
+  }
+  const auto close_file = [](std::FILE* f) {
+    if (f != nullptr) std::fclose(f);
+  };
+  std::unique_ptr<std::FILE, decltype(close_file)> progress_guard(
+      progress_file, close_file);
+  // det-lint: allow(wallclock) elapsed/ETA for the progress stream only
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const auto emit_progress = [&](u64 done) {
+    if (progress_file == nullptr) return;
+    const double elapsed_s =
+        // det-lint: allow(wallclock) elapsed/ETA for the progress stream only
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      campaign_start)
+            .count();
+    std::string line;
+    line.reserve(128);
+    line += "{\"campaign_done\":";
+    line += std::to_string(done);
+    line += ",\"campaign_total\":";
+    line += std::to_string(book.target());
+    line += ",\"elapsed_s\":";
+    obs::append_double(line, elapsed_s);
+    line += ",\"eta_s\":";
+    obs::append_double(
+        line, done == 0 ? 0.0
+                        : elapsed_s *
+                              static_cast<double>(book.target() - done) /
+                              static_cast<double>(done));
+    line += "}\n";
+    std::fputs(line.c_str(), progress_file);
+    std::fflush(progress_file);
+  };
+
+  std::vector<WorkerProc> workers(opt.workers);
+  bool kill_fired = opt.kill_worker < 0;
+
+  const auto send = [&](u32 w, const Msg& m) {
+    if (!workers[w].alive) return false;
+    return write_all(workers[w].wfd, m.encode());
+  };
+  // Forward-declared so assignment failures can recurse into the death
+  // handler (which itself reassigns work).
+  std::function<void(u32)> on_worker_dead;
+  const auto try_assign = [&](u32 w) -> bool {
+    if (!workers[w].alive || book.worker_busy(w)) return true;
+    std::optional<LeaseBook::Assignment> a = book.next_assignment(w);
+    if (!a) return true;  // parked: a later death may still feed it
+    if (a->stolen) {
+      Msg trim;
+      trim.kind = Msg::Kind::Trim;
+      trim.a = a->victim_new_end;
+      if (!send(a->victim, trim)) on_worker_dead(a->victim);
+    }
+    Msg lease;
+    lease.kind = Msg::Kind::Lease;
+    lease.a = a->lease.begin;
+    lease.b = a->lease.end;
+    lease.shard_id = a->lease.shard_id;
+    if (!send(w, lease)) {
+      on_worker_dead(w);
+      return false;
+    }
+    return true;
+  };
+  on_worker_dead = [&](u32 w) {
+    WorkerProc& p = workers[w];
+    if (!p.alive) return;
+    p.alive = false;
+    close_fd(p.wfd);
+    close_fd(p.rfd);
+    if (!p.reaped) {
+      int status = 0;
+      (void)::waitpid(p.pid, &status, 0);
+      p.reaped = true;
+    }
+    book.worker_dead(w);
+    // The reissued remainder can only be picked up by a parked worker —
+    // busy ones will ask when their lease completes.
+    for (u32 v = 0; v < opt.workers; ++v) {
+      if (v != w) (void)try_assign(v);
+    }
+  };
+
+  const std::string exe = self_exe(opt.respawn_args.front());
+  if (!book.all_done()) {
+    for (u32 w = 0; w < opt.workers; ++w) {
+      spawn_worker(exe, opt.respawn_args, w, workers[w]);
+    }
+    for (u32 w = 0; w < opt.workers; ++w) (void)try_assign(w);
+  }
+
+  std::vector<pollfd> pfds;
+  std::vector<u32> pfd_worker;
+  std::string line;
+  u64 last_progress_done = 0;
+  while (!book.all_done()) {
+    pfds.clear();
+    pfd_worker.clear();
+    for (u32 w = 0; w < opt.workers; ++w) {
+      if (workers[w].alive) {
+        pfds.push_back({workers[w].rfd, POLLIN, 0});
+        pfd_worker.push_back(w);
+      }
+    }
+    if (pfds.empty()) {
+      throw std::runtime_error(
+          "distributed campaign failed: every worker died with " +
+          std::to_string(book.target() - book.done_count()) +
+          " trials outstanding");
+    }
+    // No timeout: every state change the loop acts on arrives as pipe
+    // readability or hangup, so there is nothing to poll the clock for.
+    int r;
+    do {
+      r = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) {
+      throw std::runtime_error(std::string("poll failed: ") +
+                               std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      const u32 w = pfd_worker[i];
+      WorkerProc& p = workers[w];
+      if (!p.alive) continue;  // died while handling an earlier fd
+      bool saw_eof = false;
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[4096];
+        for (;;) {
+          ssize_t n;
+          do {
+            n = ::read(p.rfd, chunk, sizeof chunk);
+          } while (n < 0 && errno == EINTR);
+          if (n > 0) {
+            p.inbuf.append(chunk, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) saw_eof = true;  // EAGAIN just ends the drain
+          break;
+        }
+      }
+      // Process every complete line, then the EOF: a dying worker's final
+      // acks must land before its lease tail is reissued, or completed
+      // trials would be pointlessly re-run.
+      std::size_t nl;
+      while ((nl = p.inbuf.find('\n')) != std::string::npos) {
+        line.assign(p.inbuf, 0, nl);
+        p.inbuf.erase(0, nl + 1);
+        const std::optional<Msg> msg = Msg::parse(line);
+        if (!msg || msg->kind != Msg::Kind::Done) {
+          saw_eof = true;  // desynchronised: treat the worker as lost
+          break;
+        }
+        book.mark_done(w, msg->a);
+        if (!kill_fired && book.done_count() >= opt.kill_after) {
+          // Fault-injection hook: SIGKILL mid-run, then let the normal
+          // death path observe the hangup and rebalance.
+          kill_fired = true;
+          if (opt.kill_worker >= 0 &&
+              static_cast<u32>(opt.kill_worker) < opt.workers &&
+              workers[static_cast<u32>(opt.kill_worker)].alive) {
+            (void)::kill(workers[static_cast<u32>(opt.kill_worker)].pid,
+                         SIGKILL);
+          }
+        }
+        if (!book.worker_busy(w)) (void)try_assign(w);
+      }
+      if (saw_eof) on_worker_dead(w);
+    }
+    if (book.done_count() != last_progress_done) {
+      last_progress_done = book.done_count();
+      emit_progress(last_progress_done);
+    }
+  }
+
+  // All trials acked: wind the fleet down. FIN write failures are fine
+  // here (a worker that died after its last ack owes nothing).
+  Msg fin;
+  fin.kind = Msg::Kind::Fin;
+  for (u32 w = 0; w < opt.workers; ++w) {
+    WorkerProc& p = workers[w];
+    if (!p.alive) continue;
+    (void)write_all(p.wfd, fin.encode());
+    close_fd(p.wfd);
+    // Drain to EOF so the worker is never blocked on a full DONE pipe
+    // while trying to exit (rfd is non-blocking, so wait via poll).
+    char chunk[4096];
+    for (;;) {
+      ssize_t n;
+      do {
+        n = ::read(p.rfd, chunk, sizeof chunk);
+      } while (n < 0 && errno == EINTR);
+      if (n > 0) continue;
+      if (n == 0) break;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) break;
+      pollfd pd{p.rfd, POLLIN, 0};
+      int pr;
+      do {
+        pr = ::poll(&pd, 1, -1);
+      } while (pr < 0 && errno == EINTR);
+      if (pr < 0) break;
+    }
+    close_fd(p.rfd);
+    int status = 0;
+    (void)::waitpid(p.pid, &status, 0);
+    p.reaped = true;
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      throw std::runtime_error(
+          "dist worker " + std::to_string(w) +
+          " exited abnormally after FIN (status " + std::to_string(status) +
+          ")");
+    }
+  }
+
+  // Identical fold to CampaignRunner::run_journaled: merge the shards back
+  // into global trial order and stream them through the aggregate
+  // builders. The journal, not the DONE accounting, is the ground truth —
+  // the counts check makes any divergence a hard error.
+  std::vector<ScenarioAggregateBuilder> builders;
+  builders.reserve(scenarios.size());
+  for (const ScenarioSpec& spec : scenarios) {
+    builders.emplace_back(spec.name, to_string(spec.attack),
+                          /*keep_results=*/false);
+  }
+  std::vector<u32> counts(scenarios.size(), 0);
+  if (total > 0) {
+    store::JournalMerge merge(dir);
+    if (merge.valid()) {
+      store::JournalRecord rec;
+      while (merge.next(rec)) {
+        counts[rec.scenario]++;
+        builders[rec.scenario].add(std::move(rec.result));
+      }
+    }
+  }
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    if (counts[s] != trials) {
+      throw std::runtime_error(
+          "journal '" + dir + "' is incomplete after the run: scenario '" +
+          scenarios[s].name + "' has " + std::to_string(counts[s]) + " of " +
+          std::to_string(trials) + " trials");
+    }
+  }
+  CampaignReport report;
+  report.seed = config.seed;
+  report.trials_per_scenario = trials;
+  report.scenarios.reserve(builders.size());
+  for (ScenarioAggregateBuilder& b : builders) {
+    report.scenarios.push_back(std::move(b).finish());
+  }
+  return report;
+}
+
+}  // namespace dnstime::campaign::dist

@@ -1,0 +1,38 @@
+// Multi-process campaign coordinator: partitions the flattened trial
+// range across N worker processes, hands out leases over pipes, steals
+// work back from stragglers, reissues the un-acked remainder of dead
+// workers, and folds the shared journal into the same CampaignReport a
+// single-process single-thread run produces — byte-identical, because
+// per-trial seeds are pure functions of (campaign seed, scenario name,
+// trial index) and the merge fold preserves global trial order.
+//
+// Failure model: a worker may die at any instant (crash, OOM-kill,
+// SIGKILL). Everything it journaled before dying survives — shards are
+// flushed per frame and the DONE ack is sent only after the flush — and
+// the un-acked tail of its lease is reissued to a surviving worker.
+// Duplicate trials from reissue/steal races are collapsed by the merge's
+// cross-shard dedupe (identical bytes either way: trials are
+// deterministic). The coordinator itself dying leaves a resumable journal
+// directory: rerunning with --resume re-leases exactly the missing
+// trials.
+#pragma once
+
+#include <vector>
+
+#include "campaign/dist/options.h"
+#include "campaign/runner.h"
+#include "campaign/scenario_spec.h"
+
+namespace dnstime::campaign::dist {
+
+/// Runs the campaign across opt.workers processes. Requires a journal
+/// directory in `config` (the journal is the only channel results travel
+/// by); trace/dump/metrics are coordinator-side no-ops and rejected by the
+/// CLI. Throws std::runtime_error on unrecoverable failures: every worker
+/// dead with work outstanding, a worker exiting nonzero after a clean FIN,
+/// or an incomplete journal after the run.
+[[nodiscard]] CampaignReport run_coordinator(
+    const CampaignConfig& config, const std::vector<ScenarioSpec>& scenarios,
+    const DistOptions& opt);
+
+}  // namespace dnstime::campaign::dist

@@ -1,0 +1,36 @@
+// Distribution options shared by campaign::parse_cli, the coordinator and
+// the worker entrypoint. Lives in its own header so the CLI layer can
+// carry these without pulling in process-management code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dnstime::campaign::dist {
+
+struct DistOptions {
+  /// --workers N: number of worker processes (>= 2 engages the
+  /// coordinator; 0/1 mean the ordinary in-process runner).
+  u32 workers = 0;
+
+  /// argv for re-exec'ing this binary as a worker, with --workers and the
+  /// --dist-kill-* flags stripped (the coordinator appends the --dist-*
+  /// wiring itself).
+  std::vector<std::string> respawn_args;
+
+  /// Hidden --dist-worker wiring (set only inside spawned workers).
+  bool worker_mode = false;
+  int fd_in = -1;   ///< coordinator -> worker control messages
+  int fd_out = -1;  ///< worker -> coordinator DONE stream
+  u32 worker_id = 0;
+
+  /// Fault-injection hook for the kill-rebalance smoke tests:
+  /// --dist-kill-worker W SIGKILLs worker W once the fleet has acked
+  /// --dist-kill-after N trials (default 3). -1 = disabled.
+  int kill_worker = -1;
+  u64 kill_after = 3;
+};
+
+}  // namespace dnstime::campaign::dist

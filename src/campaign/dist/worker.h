@@ -1,0 +1,38 @@
+// Worker side of the distributed campaign (campaign/dist/coordinator.h):
+// a child process that executes trial-range leases received over a pipe
+// and journals every result into per-lease shards.
+//
+// Workers are spawned by re-exec'ing the coordinator's own binary with the
+// hidden --dist-worker flags, so coordinator and workers share one
+// scenario registry, one campaign config and one JournalMeta by
+// construction — the identity checks that protect resume protect the
+// fleet for free.
+#pragma once
+
+#include <vector>
+
+#include "campaign/dist/options.h"
+#include "campaign/runner.h"
+#include "campaign/scenario_spec.h"
+
+namespace dnstime::campaign::dist {
+
+/// Exit-code contract (documented in src/campaign/README.md):
+enum WorkerExit : int {
+  kWorkerOk = 0,        ///< clean FIN from the coordinator
+  kWorkerBadFlags = 2,  ///< CLI rejected the flag set (set by parse_cli use)
+  kWorkerProtocol = 3,  ///< pipe EOF before FIN, or an unparseable message
+  kWorkerJournal = 4,   ///< shard create/append/close failure
+};
+
+/// Runs the lease-execute-journal loop until FIN, wired by opt.fd_in /
+/// opt.fd_out / opt.worker_id. Never returns a report: the journal is the
+/// only output channel for results (plus the DONE stream for accounting
+/// and an optional per-worker progress JSONL file when
+/// config.progress_path names a directory). Returns a WorkerExit value
+/// for main() to return.
+[[nodiscard]] int run_worker(const CampaignConfig& config,
+                             const std::vector<ScenarioSpec>& scenarios,
+                             const DistOptions& opt);
+
+}  // namespace dnstime::campaign::dist

@@ -32,6 +32,8 @@ int WheelQueue::scan_from(const Bitmap& bm, u32 from) {
 }
 
 void WheelQueue::push(Time at, u32 payload) {
+  assert(!track_ || payload >= loc_.size() ||
+         loc_[payload].where == kLocNone);
   place(WheelEntry{at, next_seq_++, payload});
   size_++;
 }
@@ -46,6 +48,10 @@ void WheelQueue::place(const WheelEntry& e) {
   if (delta >= kHorizon) {
     overflow_.push_back(e);
     if (tick < overflow_min_) overflow_min_ = tick;
+    if (track_) [[unlikely]] {
+      set_loc(e.payload, kLocOverflow, 0, 0,
+              static_cast<u32>(overflow_.size() - 1));
+    }
     return;
   }
   u32 level = 0;
@@ -61,11 +67,22 @@ void WheelQueue::place(const WheelEntry& e) {
   }
   bucket.push_back(e);
   bitmap_[level][pos >> 6] |= 1ull << (pos & 63);
+  if (track_) [[unlikely]] {
+    set_loc(e.payload, kLocBucket, static_cast<u8>(level),
+            static_cast<u8>(pos), static_cast<u32>(bucket.size() - 1));
+  }
 }
 
 void WheelQueue::ready_push(const WheelEntry& e) {
   ready_.push_back(e);
   std::push_heap(ready_.begin(), ready_.end(), later);
+  if (track_) [[unlikely]] set_loc(e.payload, kLocReady, 0, 0, 0);
+}
+
+void WheelQueue::set_loc(u32 payload, u8 where, u8 level, u8 slot,
+                         u32 index) {
+  if (payload >= loc_.size()) loc_.resize(payload + 1);
+  loc_[payload] = Loc{where, level, slot, index};
 }
 
 void WheelQueue::trim_drained(std::vector<WheelEntry>& bucket) {
@@ -193,6 +210,7 @@ std::size_t WheelQueue::memory_bytes() const {
   bytes += ready_.capacity() * sizeof(WheelEntry);
   bytes += overflow_.capacity() * sizeof(WheelEntry);
   bytes += scratch_.capacity() * sizeof(WheelEntry);
+  bytes += loc_.capacity() * sizeof(Loc);
   return bytes;
 }
 
@@ -208,7 +226,73 @@ bool WheelQueue::pop(WheelEntry& out) {
   std::pop_heap(ready_.begin(), ready_.end(), later);
   ready_.pop_back();
   size_--;
+  if (track_) [[unlikely]] {
+    if (out.payload < loc_.size()) loc_[out.payload].where = kLocNone;
+  }
   return true;
+}
+
+void WheelQueue::enable_tracking() {
+  track_ = true;
+  loc_.clear();
+  for (u32 l = 0; l < kLevels; ++l) {
+    for (u32 p = 0; p < kSlots; ++p) {
+      const auto& bucket = buckets_[l][p];
+      for (u32 i = 0; i < bucket.size(); ++i) {
+        set_loc(bucket[i].payload, kLocBucket, static_cast<u8>(l),
+                static_cast<u8>(p), i);
+      }
+    }
+  }
+  for (u32 i = 0; i < overflow_.size(); ++i) {
+    set_loc(overflow_[i].payload, kLocOverflow, 0, 0, i);
+  }
+  for (const WheelEntry& e : ready_) set_loc(e.payload, kLocReady, 0, 0, 0);
+}
+
+bool WheelQueue::cancel(u32 payload) {
+  if (!track_) enable_tracking();
+  if (payload >= loc_.size()) return false;
+  Loc& loc = loc_[payload];
+  switch (loc.where) {
+    case kLocBucket: {
+      auto& bucket = buckets_[loc.level][loc.slot];
+      assert(loc.index < bucket.size() &&
+             bucket[loc.index].payload == payload);
+      if (loc.index + 1 != bucket.size()) {
+        bucket[loc.index] = bucket.back();
+        loc_[bucket[loc.index].payload].index = loc.index;
+      }
+      bucket.pop_back();
+      if (bucket.empty()) {
+        // advance_to_ready treats a set bitmap bit as "non-empty bucket"
+        // (and reads front() of level-0 candidates), so an emptied bucket
+        // must clear its bit.
+        bitmap_[loc.level][loc.slot >> 6] &= ~(1ull << (loc.slot & 63));
+        trim_drained(bucket);
+      }
+      loc.where = kLocNone;
+      size_--;
+      return true;
+    }
+    case kLocOverflow: {
+      assert(loc.index < overflow_.size() &&
+             overflow_[loc.index].payload == payload);
+      if (loc.index + 1 != overflow_.size()) {
+        overflow_[loc.index] = overflow_.back();
+        loc_[overflow_[loc.index].payload].index = loc.index;
+      }
+      overflow_.pop_back();
+      // overflow_min_ may now be stale-low (we may have removed the min).
+      // Harmless: at worst one early refill_from_overflow, which re-places
+      // everything and recomputes the true minimum.
+      loc.where = kLocNone;
+      size_--;
+      return true;
+    }
+    default:
+      return false;  // kLocNone (not queued) or kLocReady (heap middle)
+  }
 }
 
 }  // namespace dnstime::sim

@@ -64,6 +64,22 @@ class WheelQueue {
   /// for deliberately-stale pushes).
   void push(Time at, u32 payload);
 
+  /// Remove the queued entry carrying `payload` in O(1): a cancelled
+  /// timer skips bucket storage, cascades and the ready heap entirely
+  /// instead of riding the wheel to its deadline as a tombstone.
+  /// Requires that at most one queued entry carries any given payload
+  /// (TimerWheel recycles a slot only after its entry leaves the queue,
+  /// and ClientPopulation arms one timer per client). Returns false when
+  /// no such entry exists *or* the entry already reached the ready heap —
+  /// heap middles cannot be removed in O(1), so ready entries stay for
+  /// the caller to tombstone and skip at pop.
+  ///
+  /// The first call enables payload location tracking with an O(size)
+  /// scan; from then on every entry move maintains an 8-byte location
+  /// record. Workloads that never cancel pay one predicted-false branch
+  /// per move and no memory.
+  bool cancel(u32 payload);
+
   /// Earliest entry by (at, seq), or nullptr when empty. Non-const: may
   /// advance the cursor and cascade buckets to surface the head.
   [[nodiscard]] const WheelEntry* peek();
@@ -120,16 +136,41 @@ class WheelQueue {
 
   void ready_push(const WheelEntry& e);
 
+  /// Where a queued entry currently lives, indexed by payload (only
+  /// maintained once track_ is on). kLocReady records membership only:
+  /// heap positions shuffle under sift, so cancel() refuses ready
+  /// entries rather than tracking them.
+  enum : u8 { kLocNone = 0, kLocBucket, kLocReady, kLocOverflow };
+  struct Loc {
+    u8 where = kLocNone;
+    u8 level = 0;
+    u8 slot = 0;    ///< bucket position; kSlots == 256 makes u8 exact
+    u32 index = 0;  ///< position inside the bucket / overflow vector
+  };
+  /// Out of line on purpose: set_loc sits on never-taken branches inside
+  /// place()/ready_push()/pop(), and inlining its body (with the resize
+  /// slow path) into those hot loops measurably regresses the no-cancel
+  /// workloads (poll_fleet) through code growth alone.
+  void set_loc(u32 payload, u8 where, u8 level, u8 slot, u32 index);
+  /// Build loc_ for everything currently queued; flips track_ on.
+  void enable_tracking();
+
   u64 cur_ = 0;  ///< cursor tick; wheel buckets only hold ticks > cur_
   u64 next_seq_ = 0;
   std::size_t size_ = 0;
   u64 cascades_ = 0;
+  /// Lives with the hot cursor fields, not after the ~24 KB of bucket
+  /// headers: place()/pop() test it on every call, and banishing it to the
+  /// object's tail would add a distant cache line to the per-event
+  /// working set.
+  bool track_ = false;  ///< set by the first cancel()
   std::array<Bitmap, kLevels> bitmap_{};
   std::array<std::array<std::vector<WheelEntry>, kSlots>, kLevels> buckets_;
   std::vector<WheelEntry> ready_;     ///< min-heap on (at, seq)
   std::vector<WheelEntry> overflow_;  ///< deadlines beyond kHorizon ticks
   u64 overflow_min_ = std::numeric_limits<u64>::max();  ///< min overflow tick
   std::vector<WheelEntry> scratch_;   ///< cascade staging, reused
+  std::vector<Loc> loc_;              ///< payload -> current location
 };
 
 class TimerWheel;
@@ -157,10 +198,13 @@ class WheelHandle {
 
 /// EventLoop-compatible loop façade over WheelQueue: same clamping, same
 /// run_until boundary semantics ("events at exactly `until` still run"),
-/// same generation-checked cancellation, same clock-advance-on-cancelled-
-/// pop behaviour. The property test in tests/sim/timer_wheel_test.cpp
-/// drives identical call streams through both and asserts identical firing
-/// order and clock positions.
+/// same generation-checked cancellation. Cancellation is stronger than
+/// EventLoop's tombstones: the wheel entry is removed in O(1), so a
+/// cancelled deadline never pops and never advances the clock (only an
+/// entry already staged in the ready heap falls back to tombstone-and-
+/// skip). The property test in tests/sim/timer_wheel_test.cpp drives
+/// identical call streams through both and asserts identical firing order
+/// and identical clocks at run_until boundaries.
 class TimerWheel {
  public:
   struct Stats {
@@ -216,7 +260,9 @@ class TimerWheel {
     while (queue_.peek() != nullptr) step();
   }
 
-  /// Queued events, including cancelled ones not yet popped.
+  /// Queued events. Cancelled events leave the queue immediately unless
+  /// they were already staged in the ready heap (those linger as
+  /// tombstones until popped).
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -239,15 +285,30 @@ class TimerWheel {
     queue_.pop(e);
     now_ = e.at;
     const u32 slot = e.payload;
+    // Only ready-heap tombstones reach here: cancel_slot removed every
+    // other cancelled entry from the queue outright (and counted it).
     const bool cancelled = slots_[slot].cancelled;
     EventFn fn = std::move(slots_[slot].fn);
     release_slot(slot);
-    if (cancelled) {
-      stats_.cancelled++;
-      return;
-    }
+    if (cancelled) return;
     stats_.fired++;
     fn();
+  }
+
+  void cancel_slot(u32 slot, u32 gen) {
+    Slot& s = slots_[slot];
+    if (!s.live || s.gen != gen || s.cancelled) return;
+    stats_.cancelled++;
+    s.fn = EventFn{};  // release captured resources now, as EventHandle does
+    if (queue_.cancel(slot)) {
+      // The entry left the queue, so nothing will ever pop this slot:
+      // recycle it immediately.
+      release_slot(slot);
+    } else {
+      // Already staged in the ready heap: tombstone it; step() skips the
+      // callback when the entry pops.
+      s.cancelled = true;
+    }
   }
 
   u32 acquire_slot(EventFn fn) {
@@ -280,12 +341,7 @@ class TimerWheel {
 };
 
 inline void WheelHandle::cancel() {
-  if (wheel_ == nullptr) return;
-  auto& s = wheel_->slots_[slot_];
-  if (s.live && s.gen == gen_) {
-    s.cancelled = true;
-    s.fn = EventFn{};  // release captured resources now, as EventHandle does
-  }
+  if (wheel_ != nullptr) wheel_->cancel_slot(slot_, gen_);
 }
 
 inline bool WheelHandle::valid() const {

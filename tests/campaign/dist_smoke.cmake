@@ -1,0 +1,67 @@
+# End-to-end smoke of the distributed campaign coordinator, run by ctest
+# (see the add_test in the top-level CMakeLists). Exercises the full
+# failure model in one pass:
+#
+#   1. single-process, single-thread journaled run -> baseline report;
+#   2. 4-worker distributed run over the SAME seed, with worker 1
+#      SIGKILLed by the coordinator's test hook after 5 trials land —
+#      its un-acked lease tail must be reissued and rebalanced;
+#   3. the two report files must be byte-identical (cmake -E
+#      compare_files), which is the distributed layer's whole contract:
+#      process count, stealing and mid-campaign death may change timing,
+#      never bytes.
+#
+# Expects -DSWEEP=<path to example_campaign_sweep> and -DWORK_DIR=<scratch>.
+
+if(NOT SWEEP OR NOT WORK_DIR)
+  message(FATAL_ERROR "dist_smoke.cmake needs -DSWEEP=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common --trials 2 --seed 4242)
+
+message(STATUS "dist_smoke: baseline single-process run")
+execute_process(
+  COMMAND ${SWEEP} ${common} --threads 1
+          --journal "${WORK_DIR}/journal-base"
+          --out "${WORK_DIR}/report-base.txt"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline run failed with exit code ${rc}")
+endif()
+
+message(STATUS "dist_smoke: 4-worker run, SIGKILLing worker 1 mid-campaign")
+execute_process(
+  COMMAND ${SWEEP} ${common} --workers 4
+          --journal "${WORK_DIR}/journal-dist"
+          --progress "${WORK_DIR}/progress"
+          --dist-kill-worker 1 --dist-kill-after 5
+          --out "${WORK_DIR}/report-dist.txt"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "distributed run failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/report-base.txt" "${WORK_DIR}/report-dist.txt"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "distributed report differs from the single-process baseline")
+endif()
+
+# The kill hook plus rebalance must leave more shards than workers (the
+# reissued tail lands in fresh shard ids) — prove the death path actually
+# ran rather than the campaign finishing before the kill.
+file(GLOB shards "${WORK_DIR}/journal-dist/shard-*.dtj")
+list(LENGTH shards nshards)
+if(nshards LESS 4)
+  message(FATAL_ERROR "expected >= 4 shards, found ${nshards}")
+endif()
+
+message(STATUS "dist_smoke: reports byte-identical across ${nshards} shards")

@@ -131,7 +131,7 @@ TEST(TimerWheel, SchedulingInThePastClampsToNow) {
   EXPECT_EQ(fired_at.to_seconds(), 4.0);
 }
 
-TEST(TimerWheel, CancelSkipsCallbackButAdvancesClock) {
+TEST(TimerWheel, CancelSkipsCallback) {
   TimerWheel wheel;
   int ran = 0;
   WheelHandle h =
@@ -144,6 +144,66 @@ TEST(TimerWheel, CancelSkipsCallbackButAdvancesClock) {
   EXPECT_EQ(ran, 1);
   EXPECT_EQ(wheel.stats().cancelled, 1u);
   EXPECT_EQ(wheel.now().to_seconds(), 5.0);
+}
+
+TEST(TimerWheel, CancelRemovesEntryAndNeverAdvancesClockToIt) {
+  // O(1) cancellation removes the wheel entry outright: the cancelled
+  // deadline no longer exists, so pending() drops immediately and run_all
+  // stops at the last *live* event instead of walking to the tombstone.
+  TimerWheel wheel;
+  int ran = 0;
+  wheel.schedule_after(Duration::seconds(3), [&] { ran++; });
+  WheelHandle far = wheel.schedule_after(Duration::hours(2), [&] { ran++; });
+  WheelHandle overflow =  // beyond the ~52-day wheel horizon
+      wheel.schedule_after(Duration::hours(24 * 80), [&] { ran++; });
+  EXPECT_EQ(wheel.pending(), 3u);
+  far.cancel();
+  overflow.cancel();
+  EXPECT_EQ(wheel.pending(), 1u) << "cancelled entries must leave the queue";
+  wheel.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(wheel.stats().cancelled, 2u);
+  EXPECT_EQ(wheel.now().to_seconds(), 3.0)
+      << "the clock must not visit removed deadlines";
+}
+
+TEST(TimerWheel, CancelOfReadyEntryFallsBackToTombstone) {
+  // Two events share one tick, so both are staged in the ready heap when
+  // the first fires; cancelling the second from inside the first's
+  // callback hits the heap-resident case, where O(1) removal is
+  // impossible and the entry must pop as a skipped tombstone instead.
+  TimerWheel wheel;
+  int ran = 0;
+  WheelHandle second;
+  wheel.schedule_after(Duration::seconds(1), [&] {
+    ran++;
+    second.cancel();
+  });
+  second = wheel.schedule_after(Duration::seconds(1), [&] { ran++; });
+  wheel.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(wheel.stats().cancelled, 1u);
+  EXPECT_EQ(wheel.now().to_seconds(), 1.0);
+}
+
+TEST(WheelQueue, CancelRemovesFromBucketAndOverflow) {
+  WheelQueue q;
+  q.push(Time::from_ns(Duration::seconds(1).ns()), 1);
+  q.push(Time::from_ns(Duration::seconds(5).ns()), 2);
+  q.push(Time::from_ns(Duration::hours(24 * 80).ns()), 3);  // overflow
+  EXPECT_TRUE(q.cancel(2));
+  EXPECT_TRUE(q.cancel(3));
+  EXPECT_FALSE(q.cancel(2)) << "already removed";
+  EXPECT_FALSE(q.cancel(7)) << "never queued";
+  EXPECT_EQ(q.size(), 1u);
+  WheelEntry e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.payload, 1u);
+  EXPECT_FALSE(q.pop(e));
+  // A payload whose entry was cancelled (or popped) can be re-queued.
+  q.push(Time::from_ns(Duration::seconds(9).ns()), 2);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.payload, 2u);
 }
 
 TEST(TimerWheel, CancelDestroysCallbackEagerly) {
@@ -232,8 +292,14 @@ TEST(TimerWheelProperty, MatchesEventLoopOnRandomisedStreams) {
       ASSERT_EQ(fired_oracle, fired_wheel) << "seed " << seed;
     }
 
-    oracle.run_all();
-    wheel.run_all();
+    // Finale at a fixed far boundary rather than run_all: the loop keeps
+    // cancelled entries as tombstones and walks its clock to them, while
+    // the wheel removed them outright — run_until clamps both clocks to
+    // the same boundary, so live firing order and final clock still must
+    // agree exactly.
+    const Time far = Time::from_ns(Duration::hours(24 * 365).ns());
+    oracle.run_until(far);
+    wheel.run_until(far);
     ASSERT_EQ(fired_oracle, fired_wheel) << "seed " << seed;
     ASSERT_EQ(oracle.now().ns(), wheel.now().ns()) << "seed " << seed;
     ASSERT_EQ(oracle.pending(), 0u);

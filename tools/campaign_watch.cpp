@@ -1,148 +1,118 @@
-// campaign_watch: tail the JSON Lines stream a campaign writes with
-// `--progress FILE` and render a live per-scenario table — trials done,
+// campaign_watch: tail the JSON Lines stream(s) a campaign writes with
+// `--progress PATH` and render a live per-scenario table — trials done,
 // success rate with its 95% Wilson interval, and the campaign-level ETA.
 //
-// The stream is append-only and line-framed, so watching is a plain
-// follow-the-tail loop: read new complete lines, fold them into
-// per-scenario state, redraw. Partial lines (a writer mid-fprintf) stay
-// buffered until their newline arrives.
+// PATH is a single file for one-process campaigns, or a directory for
+// distributed ones (`--workers N`): each worker process appends to its
+// own worker-<id>.jsonl and the coordinator to coordinator.jsonl, so no
+// two writers ever interleave mid-line. The watcher discovers *.jsonl
+// files on every poll tick (workers appear as they start), tails each at
+// its own offset, and folds everything through ProgressMerger — per-
+// scenario counts are summed across processes and the rate/CI recomputed,
+// so the fleet view matches what a single process would have printed.
+//
+// Partial lines (a writer mid-fprintf, or a read racing a write) stay
+// buffered per file until their newline arrives.
 //
 // Usage:
-//   campaign_watch FILE [--once] [--interval MS]
+//   campaign_watch PATH [--once] [--interval MS]
 //
-//   FILE           the --progress file of a running (or finished) campaign
+//   PATH           the --progress file or directory of a campaign
 //   --once         render the current state once and exit (CI / scripting)
 //   --interval MS  poll interval in follow mode (default 500)
 //
 // Follow mode exits on its own when the stream reports the campaign
 // complete (campaign_done == campaign_total).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "campaign/progress_merge.h"
+
 namespace {
 
-struct ScenarioRow {
-  std::string name;
-  unsigned long long done = 0;
-  unsigned long long trials = 0;
-  unsigned long long successes = 0;
-  double rate = 0.0;
-  // Default CI is the vacuous [0, 1] ("no information"), matching
-  // wilson_interval(0, 0): a row must never render a confident [0, 0]
-  // before its wilson fields have actually been parsed.
-  double wilson_low = 0.0;
-  double wilson_high = 1.0;
+using dnstime::campaign::ProgressMerger;
+
+/// One tailed stream: an open handle plus the stable id ProgressMerger
+/// keys its per-file carry buffer and counters by.
+struct Source {
+  std::string path;
+  std::FILE* file = nullptr;
+  std::size_t id = 0;
 };
 
-struct WatchState {
-  std::vector<ScenarioRow> rows;  // insertion order = first-seen order
-  unsigned long long campaign_done = 0;
-  unsigned long long campaign_total = 0;
-  double elapsed_s = 0.0;
-  double eta_s = 0.0;
-  unsigned long long lines = 0;
-  unsigned long long bad_lines = 0;
-};
-
-/// Extract `"key":<number>` from a progress line. Returns false when the
-/// key is absent or its value is not a number (e.g. `null` for a non-finite
-/// double) — strtod parsing nothing must not turn into a confident 0.
-bool find_number(const std::string& line, const char* key, double& out) {
-  const std::string needle = std::string("\"") + key + "\":";
-  const std::size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  const char* start = line.c_str() + pos + needle.size();
-  char* end = nullptr;
-  const double v = std::strtod(start, &end);
-  if (end == start) return false;
-  out = v;
-  return true;
+/// Reads whatever bytes are newly available on `src` into the merger.
+/// Returns true when anything arrived.
+bool drain(Source& src, ProgressMerger& merger) {
+  bool got = false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, src.file)) > 0) {
+    merger.feed(src.id, buf, n);
+    got = true;
+  }
+  std::clearerr(src.file);  // EOF is transient while the writer is live
+  return got;
 }
 
-bool find_u64(const std::string& line, const char* key,
-              unsigned long long& out) {
-  double v = 0.0;
-  if (!find_number(line, key, v) || v < 0) return false;
-  out = static_cast<unsigned long long>(v);
-  return true;
-}
-
-/// Extract the scenario name. Progress lines put it first and our writer
-/// escapes quotes/backslashes; un-escape just those (scenario names are
-/// plain identifiers in practice).
-bool find_scenario(const std::string& line, std::string& out) {
-  const char* needle = "\"scenario\":\"";
-  std::size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  pos += std::strlen(needle);
-  out.clear();
-  while (pos < line.size()) {
-    const char c = line[pos++];
-    if (c == '"') return true;
-    if (c == '\\' && pos < line.size()) {
-      out += line[pos++];
-      continue;
+/// Discovers *.jsonl files under `dir` and opens any not yet tracked.
+/// Discovery order (sorted paths) assigns ids, so a given run tails each
+/// file under a stable id even as new workers appear.
+void discover(const std::string& dir, std::vector<Source>& sources) {
+  std::vector<std::string> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".jsonl") continue;
+    found.push_back(entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  for (const std::string& path : found) {
+    bool known = false;
+    for (const Source& src : sources) {
+      if (src.path == path) {
+        known = true;
+        break;
+      }
     }
-    out += c;
+    if (known) continue;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) continue;  // racing the creator; retry next tick
+    sources.push_back(Source{path, f, sources.size()});
   }
-  return false;
 }
 
-void fold_line(WatchState& state, const std::string& line) {
-  state.lines++;
-  ScenarioRow row;
-  bool ok = find_scenario(line, row.name);
-  ok = ok && find_u64(line, "done", row.done);
-  ok = ok && find_u64(line, "trials", row.trials);
-  ok = ok && find_u64(line, "successes", row.successes);
-  ok = ok && find_number(line, "rate", row.rate);
-  ok = ok && find_number(line, "wilson_low", row.wilson_low);
-  ok = ok && find_number(line, "wilson_high", row.wilson_high);
-  if (!ok) {
-    state.bad_lines++;
-    return;
-  }
-  // Campaign-level fields come from the newest line (they are cumulative).
-  (void)find_u64(line, "campaign_done", state.campaign_done);
-  (void)find_u64(line, "campaign_total", state.campaign_total);
-  (void)find_number(line, "elapsed_s", state.elapsed_s);
-  (void)find_number(line, "eta_s", state.eta_s);
-  for (ScenarioRow& existing : state.rows) {
-    if (existing.name == row.name) {
-      existing = std::move(row);
-      return;
-    }
-  }
-  state.rows.push_back(std::move(row));
-}
-
-void render(const WatchState& state, bool clear) {
+void render(const ProgressMerger::Snapshot& snap, bool clear) {
   std::string out;
   if (clear) out += "\x1b[H\x1b[J";  // cursor home + clear to end
   char line[256];
   std::snprintf(line, sizeof line,
                 "campaign: %llu/%llu trials  elapsed %.1f s  eta %.1f s\n",
-                state.campaign_done, state.campaign_total, state.elapsed_s,
-                state.eta_s);
+                static_cast<unsigned long long>(snap.campaign_done),
+                static_cast<unsigned long long>(snap.campaign_total),
+                snap.elapsed_s, snap.eta_s);
   out += line;
   std::snprintf(line, sizeof line, "%-28s %9s %6s %7s  %s\n", "scenario",
                 "done", "succ", "rate", "95% CI");
   out += line;
-  for (const ScenarioRow& row : state.rows) {
+  for (const ProgressMerger::MergedRow& row : snap.rows) {
     std::snprintf(line, sizeof line,
                   "%-28s %5llu/%-3llu %6llu %7.3f  [%.3f, %.3f]\n",
-                  row.name.c_str(), row.done, row.trials, row.successes,
-                  row.rate, row.wilson_low, row.wilson_high);
+                  row.name.c_str(), static_cast<unsigned long long>(row.done),
+                  static_cast<unsigned long long>(row.trials),
+                  static_cast<unsigned long long>(row.successes), row.rate,
+                  row.wilson_low, row.wilson_high);
     out += line;
   }
-  if (state.bad_lines > 0) {
+  if (snap.bad_lines > 0) {
     std::snprintf(line, sizeof line, "(%llu malformed lines ignored)\n",
-                  state.bad_lines);
+                  static_cast<unsigned long long>(snap.bad_lines));
     out += line;
   }
   std::fwrite(out.data(), 1, out.size(), stdout);
@@ -179,60 +149,55 @@ int main(int argc, char** argv) {
     }
     if (arg[0] == '-') {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg);
-      std::fprintf(stderr,
-                   "usage: %s FILE [--once] [--interval MS]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s PATH [--once] [--interval MS]\n",
+                   argv[0]);
       return 2;
     }
     if (!path.empty()) {
-      std::fprintf(stderr, "%s: more than one file given\n", argv[0]);
+      std::fprintf(stderr, "%s: more than one path given\n", argv[0]);
       return 2;
     }
     path = arg;
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s FILE [--once] [--interval MS]\n",
+    std::fprintf(stderr, "usage: %s PATH [--once] [--interval MS]\n",
                  argv[0]);
     return 2;
   }
 
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "%s: cannot open '%s' for reading\n", argv[0],
-                 path.c_str());
-    return 1;
+  std::error_code ec;
+  const bool dir_mode = std::filesystem::is_directory(path, ec);
+  std::vector<Source> sources;
+  if (!dir_mode) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open '%s' for reading\n", argv[0],
+                   path.c_str());
+      return 1;
+    }
+    sources.push_back(Source{path, f, 0});
   }
 
-  WatchState state;
-  std::string pending;  // bytes read but not yet newline-terminated
-  char buf[4096];
+  ProgressMerger merger;
   bool dirty = false;
   for (;;) {
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
-      pending.append(buf, n);
-      dirty = true;
+    if (dir_mode) discover(path, sources);
+    for (Source& src : sources) {
+      if (drain(src, merger)) dirty = true;
     }
-    std::size_t start = 0;
-    std::size_t nl;
-    while ((nl = pending.find('\n', start)) != std::string::npos) {
-      fold_line(state, pending.substr(start, nl - start));
-      start = nl + 1;
-    }
-    pending.erase(0, start);
 
+    const ProgressMerger::Snapshot snap = merger.snapshot();
     if (once) {
-      render(state, /*clear=*/false);
+      render(snap, /*clear=*/false);
       return 0;
     }
     if (dirty) {
-      render(state, /*clear=*/true);
+      render(snap, /*clear=*/true);
       dirty = false;
     }
-    if (state.campaign_total > 0 &&
-        state.campaign_done >= state.campaign_total) {
+    if (snap.campaign_total > 0 && snap.campaign_done >= snap.campaign_total) {
       return 0;
     }
-    std::clearerr(f);  // EOF is transient while the writer is live
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
   }
 }

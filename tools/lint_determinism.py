@@ -29,6 +29,12 @@ machines.  This lint walks the directories that own that contract
                report breaks cross-thread-count byte identity.  The
                provenance/flight-recorder layer (src/obs) must label
                events with sim-derived ids only.
+  pid          process identity (getpid, getppid).  The multi-process
+               analogue of thread-id: which OS pid a distributed worker
+               gets is spawn-order and host dependent, so a pid reaching
+               a shard, report or progress byte breaks the cross-process
+               byte-identity contract (src/campaign/dist).  Worker
+               identity must be the coordinator-assigned worker id.
 
 Waivers: a finding is suppressed when the offending line — or the line
 directly above it — carries
@@ -77,6 +83,10 @@ RULES = {
         re.compile(r"\bpthread_self\s*\("),
         re.compile(r"\bgettid\s*\("),
         re.compile(r"\bthread\s*::\s*id\b"),
+    ],
+    "pid": [
+        re.compile(r"\bgetpid\s*\("),
+        re.compile(r"\bgetppid\s*\("),
     ],
 }
 
